@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benchmarks share a single evaluation grid per session so that the
+expensive simulations run once; the per-benchmark timings then measure a
+single representative cell. Every benchmark also writes the table it
+regenerates to ``benchmarks/output/`` so the series can be inspected after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import ExperimentProfile  # noqa: E402
+from repro.experiments.runner import run_grid  # noqa: E402
+
+#: The profile the figure benchmarks run: large enough to show the paper's
+#: qualitative shapes, small enough to finish in a couple of minutes.
+FIGURE_BENCH_PROFILE = ExperimentProfile(
+    name="figure-bench",
+    query_count=3_000,
+    interarrival_times_s=(1.0, 10.0, 30.0, 60.0),
+    disk_duration_scale=10.0,
+)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+
+@pytest.fixture(scope="session")
+def figure_grid():
+    """The shared (scheme x interval) grid for the figure benchmarks."""
+    return run_grid(FIGURE_BENCH_PROFILE)
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    """Directory where benchmark reports are written."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_report(directory: str, filename: str, content: str) -> str:
+    """Write a benchmark report file and return its path."""
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content + "\n")
+    return path

@@ -1,0 +1,37 @@
+"""Ablation benchmark: sensitivity to the amortisation horizon ``n`` (Eq. 7)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.experiments.ablations import ABLATION_HEADERS, amortization_ablation
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.reporting import format_table
+
+ABLATION_PROFILE = ExperimentProfile(
+    name="ablation-amortization", query_count=800, interarrival_times_s=(1.0,),
+    disk_duration_scale=10.0,
+)
+
+
+def test_amortization_horizon_ablation(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: amortization_ablation(
+            horizons=(100, 1_000, 5_000, 20_000), profile=ABLATION_PROFILE,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 4
+
+    table = format_table(
+        ABLATION_HEADERS, rows,
+        title="Ablation A2 - amortisation horizon n (econ-cheap, 1 s inter-arrival)",
+    )
+    write_report(output_dir, "ablation_amortization.txt", table)
+    print()
+    print(table)
+
+    # Short horizons price not-yet-built plans so high that the economy
+    # invests less; long horizons should serve at least as many queries
+    # from the cache.
+    hit_rates = {row[0]: row[3] for row in rows}
+    assert hit_rates[20_000] >= hit_rates[100]

@@ -1,0 +1,53 @@
+"""Ablation benchmark: workload locality (the Section VI viability argument)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.experiments.ablations import (
+    ABLATION_HEADERS,
+    bypass_budget_ablation,
+    locality_ablation,
+)
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.reporting import format_table
+
+ABLATION_PROFILE = ExperimentProfile(
+    name="ablation-locality", query_count=800, interarrival_times_s=(1.0,),
+    disk_duration_scale=10.0,
+)
+
+
+def test_locality_ablation(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: locality_ablation(
+            hot_probabilities=(0.3, 0.6, 0.85, 0.95), profile=ABLATION_PROFILE,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 4
+
+    table = format_table(
+        ABLATION_HEADERS, rows,
+        title="Ablation A3 - temporal locality (econ-cheap, 1 s inter-arrival)",
+    )
+    write_report(output_dir, "ablation_locality.txt", table)
+    print()
+    print(table)
+
+
+def test_bypass_budget_ablation(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: bypass_budget_ablation(
+            cache_fractions=(0.1, 0.3, 0.6), profile=ABLATION_PROFILE,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 3
+
+    table = format_table(
+        ABLATION_HEADERS, rows,
+        title="Ablation A4 - bypass cache budget (fraction of the database size)",
+    )
+    write_report(output_dir, "ablation_bypass_budget.txt", table)
+    print()
+    print(table)

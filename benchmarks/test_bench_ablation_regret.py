@@ -1,0 +1,35 @@
+"""Ablation benchmark: sensitivity to the regret-threshold fraction ``a`` (Eq. 3)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.experiments.ablations import ABLATION_HEADERS, regret_fraction_ablation
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.reporting import format_table
+
+ABLATION_PROFILE = ExperimentProfile(
+    name="ablation-regret", query_count=800, interarrival_times_s=(1.0,),
+    disk_duration_scale=10.0,
+)
+
+
+def test_regret_fraction_ablation(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: regret_fraction_ablation(
+            fractions=(0.005, 0.01, 0.05, 0.2), profile=ABLATION_PROFILE,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 4
+
+    table = format_table(
+        ABLATION_HEADERS, rows,
+        title="Ablation A1 - regret fraction a (econ-cheap, 1 s inter-arrival)",
+    )
+    write_report(output_dir, "ablation_regret_fraction.txt", table)
+    print()
+    print(table)
+
+    # A more eager threshold (smaller a) should never use the cache less.
+    hit_rates = {row[0]: row[3] for row in rows}
+    assert hit_rates[0.005] >= hit_rates[0.2]

@@ -1,0 +1,43 @@
+"""Benchmark: budget-function evaluation (Figure 1).
+
+Budget functions are evaluated for every plan of every query, so their
+evaluation speed matters for large simulations. The benchmark sweeps the
+three Figure 1 shapes over a grid of response times.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.economy.budget import ConcaveBudget, ConvexBudget, StepBudget
+from repro.experiments.reporting import format_table
+
+
+def test_budget_function_evaluation(benchmark, output_dir):
+    shapes = {
+        "step": StepBudget(1.0, 60.0),
+        "convex": ConvexBudget(1.0, 60.0),
+        "concave": ConcaveBudget(1.0, 60.0),
+    }
+    times = [0.5 + 0.5 * index for index in range(120)]
+
+    def evaluate_all():
+        total = 0.0
+        for function in shapes.values():
+            for time_s in times:
+                total += function.value(time_s)
+        return total
+
+    total = benchmark(evaluate_all)
+    assert total > 0
+
+    rows = []
+    for sample in (6.0, 15.0, 30.0, 45.0, 60.0):
+        rows.append([sample] + [shapes[name].value(sample)
+                                for name in ("step", "convex", "concave")])
+    table = format_table(
+        ["t (s)", "step (a)", "convex (b)", "concave (c)"], rows,
+        title="Figure 1 - the three budget-function shapes (amount = 1.0, tmax = 60 s)",
+    )
+    write_report(output_dir, "figure1_budget_functions.txt", table)
+    print()
+    print(table)

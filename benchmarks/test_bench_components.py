@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the per-query critical-path components.
+
+These are ordinary performance benchmarks (operations per second) rather
+than figure reproductions: they show where the simulation time goes and
+guard against regressions in the hot paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import CacheManager
+from repro.costmodel.amortization import UniformAmortization
+from repro.economy.pricing import PlanPricer
+from repro.planner.enumerator import PlanEnumerator
+from repro.planner.skyline import skyline_filter
+from repro.system import CloudSystem
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def bench_system():
+    return CloudSystem()
+
+
+@pytest.fixture(scope="module")
+def bench_query(bench_system):
+    return WorkloadGenerator(WorkloadSpec(query_count=1, seed=2)).generate()[0]
+
+
+def test_workload_generation_rate(benchmark):
+    spec = WorkloadSpec(query_count=2_000, interarrival_s=1.0, seed=0)
+
+    def generate():
+        return len(WorkloadGenerator(spec).generate())
+
+    count = benchmark(generate)
+    assert count == 2_000
+
+
+def test_plan_enumeration_rate(benchmark, bench_system, bench_query):
+    enumerator = PlanEnumerator(bench_system.execution_model,
+                                candidate_indexes=bench_system.candidate_indexes)
+    plans = benchmark(lambda: enumerator.enumerate(bench_query))
+    assert plans
+
+
+def test_plan_pricing_rate(benchmark, bench_system, bench_query):
+    enumerator = PlanEnumerator(bench_system.execution_model,
+                                candidate_indexes=bench_system.candidate_indexes)
+    pricer = PlanPricer(bench_system.structure_costs, UniformAmortization(5_000))
+    cache = CacheManager()
+    plans = enumerator.enumerate(bench_query)
+
+    priced = benchmark(lambda: pricer.price_plans(plans, cache, now=0.0))
+    assert len(priced) == len(plans)
+
+
+def test_execution_estimation_rate(benchmark, bench_system, bench_query):
+    model = bench_system.execution_model
+    estimate = benchmark(lambda: model.backend_execution(bench_query))
+    assert estimate.dollars > 0
+
+
+def test_skyline_filter_rate(benchmark):
+    candidates = [(float(i % 37), float((i * 7919) % 101)) for i in range(500)]
+    result = benchmark(lambda: skyline_filter(
+        candidates, time_of=lambda c: c[0], cost_of=lambda c: c[1],
+    ))
+    assert result
+
+
+def test_end_to_end_query_rate(benchmark, bench_system):
+    """Queries per second through the full econ-cheap scheme."""
+    workload = WorkloadGenerator(WorkloadSpec(query_count=200, seed=9)).generate()
+
+    def run():
+        scheme = bench_system.scheme("econ-cheap")
+        for query in workload:
+            scheme.process(query)
+        return scheme
+
+    scheme = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert scheme.cache is not None

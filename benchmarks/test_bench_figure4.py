@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 4 (operating cost per scheme per inter-arrival time).
+
+The benchmarked unit is one simulation cell (the bypass baseline at the
+1-second inter-arrival time); the full four-scheme, four-interval series is
+produced from the shared session grid and written to
+``benchmarks/output/figure4.txt``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FIGURE_BENCH_PROFILE, write_report
+from repro.experiments.figure4 import figure4_rows, figure4_table
+from repro.experiments.runner import build_system, run_cell
+
+
+def test_figure4_operating_costs(benchmark, figure_grid, output_dir):
+    system = build_system(FIGURE_BENCH_PROFILE)
+    cell_profile = FIGURE_BENCH_PROFILE.with_overrides(query_count=400)
+
+    def run_one_cell():
+        return run_cell(system, cell_profile, "bypass", 1.0)
+
+    cell = benchmark(run_one_cell)
+    assert cell.summary.operating_cost > 0
+
+    table = figure4_table(grid=figure_grid)
+    write_report(output_dir, "figure4.txt", table)
+    print()
+    print(table)
+
+    rows = figure4_rows(figure_grid)
+    schemes = figure_grid.profile.schemes
+    by_interval = {row[0]: dict(zip(schemes, row[1:])) for row in rows}
+
+    # Shape checks mirroring Section VII-B:
+    # econ-cheap is substantially cheaper than the bypass baseline at 1 s.
+    assert by_interval[1.0]["econ-cheap"] < by_interval[1.0]["bypass"]
+    # operating cost grows with the inter-arrival time for every scheme.
+    for scheme in schemes:
+        assert by_interval[60.0][scheme] >= by_interval[1.0][scheme] * 0.99
+    # at the 60-second interval econ-col is cheaper than econ-cheap.
+    assert by_interval[60.0]["econ-col"] < by_interval[60.0]["econ-cheap"]

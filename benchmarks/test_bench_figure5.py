@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 5 (average response time per scheme).
+
+The benchmarked unit is one simulation cell (econ-cheap at the 1-second
+inter-arrival time); the full series comes from the shared session grid and
+is written to ``benchmarks/output/figure5.txt``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FIGURE_BENCH_PROFILE, write_report
+from repro.experiments.figure5 import figure5_rows, figure5_table
+from repro.experiments.runner import build_system, run_cell
+
+
+def test_figure5_response_times(benchmark, figure_grid, output_dir):
+    system = build_system(FIGURE_BENCH_PROFILE)
+    cell_profile = FIGURE_BENCH_PROFILE.with_overrides(query_count=400)
+
+    def run_one_cell():
+        return run_cell(system, cell_profile, "econ-cheap", 1.0)
+
+    cell = benchmark(run_one_cell)
+    assert cell.summary.mean_response_time_s > 0
+
+    table = figure5_table(grid=figure_grid)
+    write_report(output_dir, "figure5.txt", table)
+    print()
+    print(table)
+
+    rows = figure5_rows(figure_grid)
+    schemes = figure_grid.profile.schemes
+    by_interval = {row[0]: dict(zip(schemes, row[1:])) for row in rows}
+
+    # Shape checks mirroring Section VII-B:
+    # indexes cut econ-cheap's response time well below econ-col's.
+    assert by_interval[1.0]["econ-cheap"] < 0.75 * by_interval[1.0]["econ-col"]
+    # econ-fast is at least as fast as econ-cheap.
+    assert by_interval[1.0]["econ-fast"] <= by_interval[1.0]["econ-cheap"] * 1.001
+    # bypass and econ-col keep their response times as the interval grows.
+    assert abs(by_interval[60.0]["bypass"] - by_interval[1.0]["bypass"]) \
+        <= 0.25 * by_interval[1.0]["bypass"]

@@ -1,0 +1,27 @@
+"""Benchmark: the Section VII-B headline claims, paper versus measured.
+
+The benchmarked unit is the ratio computation itself (cheap); the value of
+this benchmark is the report it writes to
+``benchmarks/output/headline_ratios.txt``, which EXPERIMENTS.md mirrors.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.experiments.headline import headline_ratios, headline_table
+
+
+def test_headline_ratios(benchmark, figure_grid, output_dir):
+    ratios = benchmark(lambda: headline_ratios(grid=figure_grid))
+
+    table = headline_table(grid=figure_grid)
+    write_report(output_dir, "headline_ratios.txt", table)
+    print()
+    print(table)
+
+    # The orderings the paper's text calls out.
+    assert ratios.econ_cheap_vs_bypass_cost < 0.95
+    assert ratios.econ_cheap_vs_econ_col_response < 0.75
+    assert ratios.econ_fast_vs_econ_cheap_response <= 1.001
+    assert ratios.cost_increases_with_interval
+    assert ratios.econ_col_cheaper_than_econ_cheap_at_60s

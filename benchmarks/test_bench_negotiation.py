@@ -1,0 +1,66 @@
+"""Benchmark: plan enumeration, pricing and negotiation (Figure 2 / cases A-B-C).
+
+This is the per-query critical path of the economy engine: enumerate the
+candidate plans, price them against the cache, apply the skyline filter and
+negotiate against the user budget. The benchmark reports how many
+negotiations per second a single coordinator can sustain and records the case
+distribution over a representative query mix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from benchmarks.conftest import write_report
+from repro.cache.manager import CacheManager
+from repro.costmodel.amortization import UniformAmortization
+from repro.economy.budget import StepBudget
+from repro.economy.negotiation import PlanSelection, negotiate
+from repro.economy.pricing import PlanPricer
+from repro.experiments.reporting import format_table
+from repro.planner.enumerator import PlanEnumerator
+from repro.planner.skyline import skyline_filter
+from repro.system import CloudSystem
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+def test_negotiation_throughput(benchmark, output_dir):
+    system = CloudSystem()
+    enumerator = PlanEnumerator(system.execution_model,
+                                candidate_indexes=system.candidate_indexes)
+    pricer = PlanPricer(system.structure_costs, UniformAmortization(5_000))
+    cache = CacheManager()
+    queries = WorkloadGenerator(WorkloadSpec(query_count=50, seed=21)).generate()
+
+    def negotiate_all():
+        cases = Counter()
+        for index, query in enumerate(queries):
+            priced = pricer.price_plans(enumerator.enumerate(query), cache, now=0.0)
+            skyline = skyline_filter(priced,
+                                     time_of=lambda plan: plan.response_time_s,
+                                     cost_of=lambda plan: plan.price)
+            assert skyline, "the skyline of a non-empty plan set is non-empty"
+            cheapest = min(plan.price for plan in priced)
+            priciest = max(plan.price for plan in priced)
+            # Rotate the willingness-to-pay so all three cases occur: below
+            # every plan (A), between the extremes (C), above every plan (B).
+            amount = (0.5 * cheapest,
+                      0.5 * (cheapest + priciest),
+                      2.0 * priciest)[index % 3]
+            budget = StepBudget(amount, max_time_s=1e4)
+            result = negotiate(budget, priced, PlanSelection.CHEAPEST)
+            cases[result.case.value] += 1
+        return cases
+
+    cases = benchmark(negotiate_all)
+    assert sum(cases.values()) == len(queries)
+    assert set(cases) == {"A", "B", "C"}, "all three negotiation cases should occur"
+
+    table = format_table(
+        ["negotiation case", "queries"],
+        [[case, count] for case, count in sorted(cases.items())],
+        title="Figure 2 - case distribution over a mixed willingness-to-pay workload",
+    )
+    write_report(output_dir, "figure2_negotiation_cases.txt", table)
+    print()
+    print(table)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The library is normally installed with ``pip install -e .``; this hook only
+matters on machines where an editable install is not possible (for example,
+offline environments missing the ``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,81 @@
+"""Budget functions and plan negotiation (Figures 1 and 2 of the paper).
+
+Run with::
+
+    python examples/budget_negotiation.py
+
+The script shows the three budget-function shapes of Figure 1, then walks a
+single query through the negotiation of Section IV-C three times — once per
+case A, B and C — by varying how much the user is willing to pay.
+"""
+
+from __future__ import annotations
+
+from repro import CloudSystem, WorkloadGenerator, WorkloadSpec
+from repro.economy.budget import ConcaveBudget, ConvexBudget, StepBudget
+from repro.economy.negotiation import PlanSelection, negotiate
+from repro.economy.pricing import PlanPricer
+from repro.costmodel.amortization import UniformAmortization
+from repro.cache.manager import CacheManager
+from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
+
+
+def show_budget_shapes() -> None:
+    """Print the three Figure 1 shapes on a common grid."""
+    amount, tmax = 1.0, 60.0
+    shapes = {
+        "step (a)": StepBudget(amount, tmax),
+        "convex (b)": ConvexBudget(amount, tmax),
+        "concave (c)": ConcaveBudget(amount, tmax),
+    }
+    times = [6.0, 15.0, 30.0, 45.0, 60.0]
+    header = "t (s)".ljust(12) + "".join(name.rjust(14) for name in shapes)
+    print(header)
+    for time_s in times:
+        row = f"{time_s:<12.0f}"
+        for function in shapes.values():
+            row += f"{function.value(time_s):14.3f}"
+        print(row)
+
+
+def show_negotiation_cases() -> None:
+    """Negotiate one query under three different willingness-to-pay levels."""
+    system = CloudSystem()
+    query = WorkloadGenerator(WorkloadSpec(query_count=1, seed=3)).generate()[0]
+
+    enumerator = PlanEnumerator(
+        system.execution_model,
+        candidate_indexes=system.candidate_indexes,
+        config=EnumeratorConfig(),
+    )
+    pricer = PlanPricer(system.structure_costs, UniformAmortization(5_000))
+    cache = CacheManager()  # empty cache: only the back-end plan exists
+    priced = pricer.price_plans(enumerator.enumerate(query), cache, now=0.0)
+
+    backend = next(plan for plan in priced if plan.is_existing)
+    print(f"\nQuery template: {query.template_name}")
+    print(f"Back-end plan: {backend.response_time_s:.1f} s at ${backend.price:.3f}")
+
+    scenarios = {
+        "case A (stingy user)": 0.5 * backend.price,
+        "case B (generous user)": 3.0 * backend.price,
+        "case C (selective user)": 1.05 * backend.price,
+    }
+    for label, amount in scenarios.items():
+        budget = StepBudget(amount, max_time_s=2.0 * backend.response_time_s)
+        result = negotiate(budget, priced, PlanSelection.CHEAPEST)
+        print(f"\n{label}: budget ${amount:.3f}")
+        print(f"  negotiation case: {result.case.value}")
+        print(f"  chosen plan:      {result.chosen.label}")
+        print(f"  user charge:      ${result.charge:.3f}")
+        print(f"  cloud profit:     ${result.profit:.3f}")
+        print(f"  regretted plans:  {len(result.regrets)}")
+
+
+def main() -> None:
+    show_budget_shapes()
+    show_negotiation_cases()
+
+
+if __name__ == "__main__":
+    main()

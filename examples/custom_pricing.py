@@ -1,0 +1,57 @@
+"""How resource prices steer the self-tuned cache.
+
+Run with::
+
+    python examples/custom_pricing.py
+
+The introduction of the paper points out that different providers price
+resources differently (GoGrid, for instance, gave network bandwidth away for
+free). This example runs the same workload under three price catalogs —
+the 2009 EC2 list, a free-network provider, and a provider with expensive
+disks — and shows how the economy's investments shift with the prices.
+"""
+
+from __future__ import annotations
+
+from repro import CloudSystem, CloudSystemConfig, WorkloadGenerator, WorkloadSpec
+from repro.costmodel.config import CostModelConfig
+from repro.pricing.catalog import ec2_2009_pricing, free_network_pricing
+from repro.simulator.simulation import run_scheme
+from repro.structures.base import StructureKind
+
+
+def run_with_pricing(label: str, pricing) -> None:
+    system = CloudSystem(CloudSystemConfig(
+        cost_model=CostModelConfig(pricing=pricing),
+    ))
+    workload = WorkloadGenerator(
+        WorkloadSpec(query_count=800, interarrival_s=10.0, seed=11)
+    ).generate()
+    scheme = system.scheme("econ-cheap")
+    result = run_scheme(scheme, workload)
+    summary = result.summary
+
+    built = scheme.cache.entries
+    by_kind = {kind: sum(1 for entry in built if entry.structure.kind is kind)
+               for kind in StructureKind}
+    print(f"\n=== {label} ===")
+    print(f"operating cost      ${summary.operating_cost:10.2f}")
+    print(f"mean response       {summary.mean_response_time_s:10.2f} s")
+    print(f"cache hit rate      {summary.cache_hit_rate:10.0%}")
+    print(f"columns built       {by_kind[StructureKind.COLUMN]:10d}")
+    print(f"indexes built       {by_kind[StructureKind.INDEX]:10d}")
+    print(f"extra CPU nodes     {by_kind[StructureKind.CPU_NODE]:10d}")
+    print(f"cloud profit        ${summary.total_profit:10.2f}")
+
+
+def main() -> None:
+    run_with_pricing("Amazon EC2, 2009 price list", ec2_2009_pricing())
+    run_with_pricing("free network bandwidth (GoGrid-like)", free_network_pricing())
+    run_with_pricing(
+        "expensive disks (5x storage price)",
+        ec2_2009_pricing().with_overrides(disk_gb_month=0.75),
+    )
+
+
+if __name__ == "__main__":
+    main()

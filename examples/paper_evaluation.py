@@ -1,0 +1,58 @@
+"""Regenerate the paper's evaluation (Figures 4 and 5 plus headline ratios).
+
+Run with::
+
+    python examples/paper_evaluation.py           # quick profile (~1 minute)
+    python examples/paper_evaluation.py --paper   # the EXPERIMENTS.md profile
+
+The script runs the (scheme x inter-arrival time) grid once and prints the
+operating-cost series of Figure 4, the response-time series of Figure 5, and
+the paper-versus-measured headline table of Section VII-B.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    BENCH_PROFILE,
+    PAPER_PROFILE,
+    QUICK_PROFILE,
+    figure4_table,
+    figure5_table,
+    run_grid,
+)
+from repro.experiments.headline import headline_table
+
+PROFILES = {
+    "quick": QUICK_PROFILE,
+    "bench": BENCH_PROFILE,
+    "paper": PAPER_PROFILE,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick",
+                        help="experiment profile to run")
+    parser.add_argument("--paper", action="store_true",
+                        help="shorthand for --profile paper")
+    args = parser.parse_args()
+    profile = PAPER_PROFILE if args.paper else PROFILES[args.profile]
+
+    print(f"Running the evaluation grid with the {profile.name!r} profile "
+          f"({profile.query_count} queries per cell, "
+          f"{len(profile.schemes)} schemes x "
+          f"{len(profile.interarrival_times_s)} inter-arrival times)...")
+    grid = run_grid(profile)
+
+    print()
+    print(figure4_table(grid=grid))
+    print()
+    print(figure5_table(grid=grid))
+    print()
+    print(headline_table(grid=grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: simulate the self-tuned cache economy on a small workload.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script assembles the 2.5 TB TPC-H-like cloud, generates a short
+SDSS-like workload, runs the econ-cheap scheme (the paper's full economic
+model choosing the cheapest affordable plan), and prints what the cloud
+built, what it spent, and how fast queries came back.
+"""
+
+from __future__ import annotations
+
+from repro import CloudSystem, WorkloadGenerator, WorkloadSpec, run_scheme
+
+
+def main() -> None:
+    system = CloudSystem()
+    print(system.schema.describe())
+    print()
+
+    spec = WorkloadSpec(query_count=800, interarrival_s=10.0, seed=7)
+    workload = WorkloadGenerator(spec).generate()
+    print(f"Generated {len(workload)} queries from "
+          f"{len(set(q.template_name for q in workload))} templates")
+
+    scheme = system.scheme("econ-cheap")
+    result = run_scheme(scheme, workload)
+    summary = result.summary
+
+    print()
+    print(f"Scheme:              {summary.scheme_name}")
+    print(f"Operating cost:      ${summary.operating_cost:,.2f}")
+    print(f"  execution (CPU):   ${summary.execution_cpu_dollars:,.2f}")
+    print(f"  execution (I/O):   ${summary.execution_io_dollars:,.2f}")
+    print(f"  execution (net):   ${summary.execution_network_dollars:,.2f}")
+    print(f"  structure builds:  ${summary.build_dollars:,.2f}")
+    print(f"  storage/uptime:    ${summary.maintenance_dollars:,.2f}")
+    print(f"Mean response time:  {summary.mean_response_time_s:.2f} s")
+    print(f"95th percentile:     {summary.p95_response_time_s:.2f} s")
+    print(f"Cache hit rate:      {summary.cache_hit_rate:.0%}")
+    print(f"Structures built:    {summary.builds}")
+    print(f"User charges:        ${summary.total_charge:,.2f}")
+    print(f"Cloud profit:        ${summary.total_profit:,.2f}")
+
+    print()
+    print("Structures in the cache at the end of the run:")
+    for entry in scheme.cache.entries:
+        print(f"  {entry.key:55s} served {entry.queries_served:4d} queries, "
+              f"build ${entry.build_cost:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""The viability argument of Section VI: which workloads suit the economy.
+
+Run with::
+
+    python examples/workload_viability.py
+
+Section VI argues that the proposed economy pays off when the workload has
+data and temporal locality and produces result-heavy queries. This example
+sweeps the workload generator's locality knobs and shows how the econ-cheap
+scheme's cost and response time degrade as locality disappears.
+"""
+
+from __future__ import annotations
+
+from repro import CloudSystem, WorkloadGenerator, WorkloadSpec, run_scheme
+
+
+def main() -> None:
+    system = CloudSystem()
+    print("hot-set probability | operating cost | mean response | hit rate | builds")
+    print("-" * 78)
+    for hot_probability in (0.95, 0.85, 0.6, 0.3):
+        spec = WorkloadSpec(
+            query_count=800,
+            interarrival_s=10.0,
+            seed=5,
+            hot_template_probability=hot_probability,
+        )
+        workload = WorkloadGenerator(spec).generate()
+        result = run_scheme(system.scheme("econ-cheap"), workload)
+        summary = result.summary
+        print(f"{hot_probability:19.2f} | ${summary.operating_cost:13.2f} | "
+              f"{summary.mean_response_time_s:12.2f}s | "
+              f"{summary.cache_hit_rate:8.0%} | {summary.builds:6d}")
+
+    print()
+    print("Temporal locality concentrates queries on a few templates, so the")
+    print("structures the cloud invests in keep earning; as the hot-set")
+    print("probability drops, investments pay off more slowly and the cache")
+    print("serves fewer queries — exactly the viability boundary Section VI")
+    print("describes for scientific workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Cache contents management.
+
+The cache manager tracks which structures are built, how much disk they
+occupy, when they were last useful, and how much unpaid maintenance they have
+accrued. It implements the LRU garbage collection the paper applies to the
+structure pool and the maintenance-driven "structure failure" of footnote 3.
+"""
+
+from repro.cache.lru import LruTracker
+from repro.cache.storage import CacheEntry, EvictionRecord
+from repro.cache.manager import CacheManager
+
+__all__ = [
+    "LruTracker",
+    "CacheEntry",
+    "EvictionRecord",
+    "CacheManager",
+]

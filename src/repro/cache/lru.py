@@ -1,0 +1,77 @@
+"""A small least-recently-used tracker.
+
+Used in two places:
+
+* the cloud "maintains a pool of structures relevant to the queries in the
+  recent past ... garbage collected using LRU policy" (Section IV-B) — the
+  regret tracker bounds its pool with this tracker;
+* the cache manager orders eviction candidates by recency of use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, List, Optional, TypeVar
+
+from repro.errors import CacheError
+
+KeyT = TypeVar("KeyT")
+
+
+class LruTracker(Generic[KeyT]):
+    """Tracks recency of use of hashable keys, optionally bounded in size."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise CacheError(f"capacity must be positive or None, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[KeyT, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: KeyT) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[KeyT]:
+        """Iterate from least recently used to most recently used."""
+        return iter(self._entries)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum number of tracked keys, or ``None`` for unbounded."""
+        return self._capacity
+
+    def touch(self, key: KeyT) -> List[KeyT]:
+        """Mark ``key`` as just used, inserting it if new.
+
+        Returns the keys evicted to respect the capacity bound (empty when
+        unbounded or not full).
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return []
+        self._entries[key] = None
+        evicted: List[KeyT] = []
+        if self._capacity is not None:
+            while len(self._entries) > self._capacity:
+                oldest, _ = self._entries.popitem(last=False)
+                evicted.append(oldest)
+        return evicted
+
+    def discard(self, key: KeyT) -> bool:
+        """Remove ``key`` if present; returns whether it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def least_recently_used(self) -> Optional[KeyT]:
+        """The key that has gone unused the longest, or ``None`` if empty."""
+        for key in self._entries:
+            return key
+        return None
+
+    def in_lru_order(self) -> List[KeyT]:
+        """All keys from least to most recently used."""
+        return list(self._entries)

@@ -1,0 +1,89 @@
+"""Cache entry bookkeeping objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CacheError
+from repro.structures.base import CacheStructure
+
+
+@dataclass
+class CacheEntry:
+    """One built structure and its accounting state.
+
+    Attributes:
+        structure: the built structure.
+        size_bytes: its disk footprint (0 for CPU nodes).
+        build_cost: what the cloud paid to build it.
+        maintenance_rate: $ per second of keeping it (disk or uptime).
+        built_at: simulation time of construction.
+        last_used_at: simulation time a selected plan last used it.
+        last_billed_at: simulation time up to which maintenance has been
+            billed (footnote 3: each selected plan pays the maintenance
+            accumulated since the previous paying plan).
+        queries_served: number of selected plans that used the structure,
+            which also drives amortisation.
+        amortized_recovered: build cost recovered through amortised charges.
+        maintenance_billed: total maintenance billed to queries so far.
+    """
+
+    structure: CacheStructure
+    size_bytes: int
+    build_cost: float
+    maintenance_rate: float
+    built_at: float
+    last_used_at: float = field(default=None)  # type: ignore[assignment]
+    last_billed_at: float = field(default=None)  # type: ignore[assignment]
+    queries_served: int = 0
+    amortized_recovered: float = 0.0
+    maintenance_billed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise CacheError("size_bytes must be non-negative")
+        if self.build_cost < 0:
+            raise CacheError("build_cost must be non-negative")
+        if self.maintenance_rate < 0:
+            raise CacheError("maintenance_rate must be non-negative")
+        if self.last_used_at is None:
+            self.last_used_at = self.built_at
+        if self.last_billed_at is None:
+            self.last_billed_at = self.built_at
+
+    @property
+    def key(self) -> str:
+        """The structure's stable key."""
+        return self.structure.key
+
+    def accrued_maintenance(self, now: float) -> float:
+        """Maintenance owed since it was last billed."""
+        if now < self.last_billed_at:
+            raise CacheError(
+                f"time went backwards: now={now} < last_billed_at={self.last_billed_at}"
+            )
+        return self.maintenance_rate * (now - self.last_billed_at)
+
+    def idle_time(self, now: float) -> float:
+        """Seconds since a selected plan last used the structure."""
+        if now < self.last_used_at:
+            raise CacheError(
+                f"time went backwards: now={now} < last_used_at={self.last_used_at}"
+            )
+        return now - self.last_used_at
+
+    def unrecovered_build_cost(self) -> float:
+        """Build cost not yet recovered through amortised charges."""
+        return max(0.0, self.build_cost - self.amortized_recovered)
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """Why and when a structure left the cache, for metrics and reports."""
+
+    key: str
+    evicted_at: float
+    reason: str
+    unpaid_maintenance: float
+    unrecovered_build_cost: float
+    queries_served: int

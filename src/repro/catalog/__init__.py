@@ -1,0 +1,23 @@
+"""Schema catalog of the simulated back-end database.
+
+The cost model never touches tuple values: it only needs table and column
+sizes, row counts, and selectivity estimates. The catalog therefore stores an
+*analytic* description of a TPC-H-like schema scaled to the paper's 2.5 TB
+back-end database.
+"""
+
+from repro.catalog.schema import Column, Index, Schema, Table
+from repro.catalog.statistics import ColumnStatistics, SelectivityEstimator
+from repro.catalog.tpch import TPCH_TABLE_SPECS, build_tpch_schema, scale_factor_for_bytes
+
+__all__ = [
+    "Column",
+    "Index",
+    "Schema",
+    "Table",
+    "ColumnStatistics",
+    "SelectivityEstimator",
+    "TPCH_TABLE_SPECS",
+    "build_tpch_schema",
+    "scale_factor_for_bytes",
+]

@@ -1,0 +1,125 @@
+"""Command-line interface.
+
+Exposes the experiment drivers without writing any Python::
+
+    python -m repro.cli figure4 --profile quick
+    python -m repro.cli figure5 --profile paper
+    python -m repro.cli headline
+    python -m repro.cli ablation regret
+    python -m repro.cli describe
+
+Every subcommand prints a plain-text table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.experiments.ablations import (
+    ABLATION_HEADERS,
+    amortization_ablation,
+    bypass_budget_ablation,
+    locality_ablation,
+    regret_fraction_ablation,
+)
+from repro.experiments.config import (
+    BENCH_PROFILE,
+    PAPER_PROFILE,
+    QUICK_PROFILE,
+    ExperimentProfile,
+)
+from repro.experiments.figure4 import figure4_table
+from repro.experiments.figure5 import figure5_table
+from repro.experiments.headline import headline_table
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_grid
+from repro.system import CloudSystem
+
+_PROFILES = {
+    "quick": QUICK_PROFILE,
+    "bench": BENCH_PROFILE,
+    "paper": PAPER_PROFILE,
+}
+
+_ABLATIONS = {
+    "regret": (regret_fraction_ablation,
+               "Ablation A1 - regret fraction a (Eq. 3)"),
+    "amortization": (amortization_ablation,
+                     "Ablation A2 - amortisation horizon n (Eq. 7)"),
+    "locality": (locality_ablation,
+                 "Ablation A3 - workload temporal locality"),
+    "bypass-budget": (bypass_budget_ablation,
+                      "Ablation A4 - bypass cache budget"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An Economic Model for Self-Tuned Cloud Caching'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+            ("figure4", "operating cost per scheme per inter-arrival time"),
+            ("figure5", "average response time per scheme per inter-arrival time"),
+            ("headline", "Section VII-B claims, paper versus measured")):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--profile", choices=sorted(_PROFILES), default="quick",
+                         help="experiment profile (default: quick)")
+
+    ablation = subparsers.add_parser("ablation", help="run one ablation sweep")
+    ablation.add_argument("which", choices=sorted(_ABLATIONS))
+    ablation.add_argument("--queries", type=int, default=400,
+                          help="queries per sweep point (default: 400)")
+
+    subparsers.add_parser("describe", help="print the simulated schema and defaults")
+    return parser
+
+
+def _figure_command(command: str, profile: ExperimentProfile) -> str:
+    grid = run_grid(profile)
+    if command == "figure4":
+        return figure4_table(grid=grid)
+    if command == "figure5":
+        return figure5_table(grid=grid)
+    return headline_table(grid=grid)
+
+
+def _ablation_command(which: str, queries: int) -> str:
+    driver, title = _ABLATIONS[which]
+    profile = ExperimentProfile(name=f"cli-{which}", query_count=queries,
+                                interarrival_times_s=(1.0,))
+    rows = driver(profile=profile)
+    return format_table(ABLATION_HEADERS, rows, title=title)
+
+
+def _describe_command() -> str:
+    system = CloudSystem()
+    lines = [system.schema.describe(), ""]
+    lines.append(f"candidate indexes: {len(system.candidate_indexes)}")
+    pricing = system.execution_model.config.pricing
+    lines.append(f"pricing: ${pricing.cpu_node_per_hour}/node-hour, "
+                 f"${pricing.disk_gb_month}/GB-month, "
+                 f"${pricing.network_gb}/GB transferred, "
+                 f"${pricing.io_per_million}/million I/Os")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in ("figure4", "figure5", "headline"):
+        output = _figure_command(args.command, _PROFILES[args.profile])
+    elif args.command == "ablation":
+        output = _ablation_command(args.which, args.queries)
+    else:
+        output = _describe_command()
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

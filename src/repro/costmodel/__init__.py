@@ -1,0 +1,34 @@
+"""The all-resource cost model of Section IV-D and Section V.
+
+The cost of a query plan (Eq. 4) is the sum of its execution cost (Eqs. 8
+and 9) and the amortised build cost of every structure it uses (Eqs. 5-7).
+Structures themselves have build costs (Eqs. 10, 12, 14) and maintenance
+costs (Eqs. 11, 13, 15). This package implements all of those equations plus
+the multi-node scaling law and the ``f_cpu``/``f_io`` calibration procedure
+Section V-B describes.
+"""
+
+from repro.costmodel.config import CostModelConfig
+from repro.costmodel.scaling import cpu_overhead_factor, speedup_factor
+from repro.costmodel.execution import ExecutionCostModel, ExecutionEstimate
+from repro.costmodel.build import StructureCostModel
+from repro.costmodel.amortization import (
+    AmortizationPolicy,
+    DecliningAmortization,
+    UniformAmortization,
+)
+from repro.costmodel.calibration import CalibrationResult, calibrate_factors
+
+__all__ = [
+    "CostModelConfig",
+    "cpu_overhead_factor",
+    "speedup_factor",
+    "ExecutionCostModel",
+    "ExecutionEstimate",
+    "StructureCostModel",
+    "AmortizationPolicy",
+    "UniformAmortization",
+    "DecliningAmortization",
+    "CalibrationResult",
+    "calibrate_factors",
+]

@@ -1,0 +1,99 @@
+"""Amortisation of structure build costs over future queries (Eqs. 6-7).
+
+The amortised cost a query plan pays for a structure ``S`` is
+``fS(n, BuildS(S))``; the paper amortises uniformly, ``BuildS(S) / n``, and
+explicitly leaves the choice of ``n`` open. We provide the paper's uniform
+policy plus a declining-balance alternative used by the ablation study.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+
+
+class AmortizationPolicy(abc.ABC):
+    """How a structure's build cost is spread over the queries that use it."""
+
+    @abc.abstractmethod
+    def charge(self, build_cost: float, queries_served: int) -> float:
+        """Amortised charge for the next query that uses the structure.
+
+        Args:
+            build_cost: the structure's total build cost ``BuildS(S)``.
+            queries_served: how many queries have already used the structure
+                (0 for the first one).
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+
+
+class UniformAmortization(AmortizationPolicy):
+    """Eq. 7: the build cost is split equally over ``n`` queries.
+
+    After the ``n``-th query the structure is fully paid off and later
+    queries are charged nothing for it.
+    """
+
+    def __init__(self, horizon_queries: int) -> None:
+        if horizon_queries <= 0:
+            raise ConfigurationError(
+                f"horizon_queries must be positive, got {horizon_queries}"
+            )
+        self._horizon = horizon_queries
+
+    @property
+    def horizon_queries(self) -> int:
+        """``n`` of Eq. 7."""
+        return self._horizon
+
+    def charge(self, build_cost: float, queries_served: int) -> float:
+        _validate(build_cost, queries_served)
+        if queries_served >= self._horizon:
+            return 0.0
+        return build_cost / self._horizon
+
+    def describe(self) -> str:
+        return f"uniform over {self._horizon} queries"
+
+
+class DecliningAmortization(AmortizationPolicy):
+    """Geometric amortisation: each successive query pays a constant fraction
+    of the *remaining* unamortised build cost.
+
+    Early adopters pay more, which protects the cloud against structures that
+    fall out of fashion before the uniform horizon would have paid them off.
+    Used by the amortisation ablation (A2 in DESIGN.md).
+    """
+
+    def __init__(self, fraction: float = 0.05) -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1), got {fraction}"
+            )
+        self._fraction = fraction
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the remaining balance charged per query."""
+        return self._fraction
+
+    def charge(self, build_cost: float, queries_served: int) -> float:
+        _validate(build_cost, queries_served)
+        remaining = build_cost * (1.0 - self._fraction) ** queries_served
+        return remaining * self._fraction
+
+    def describe(self) -> str:
+        return f"declining balance at {self._fraction:.0%} per query"
+
+
+def _validate(build_cost: float, queries_served: int) -> None:
+    if build_cost < 0:
+        raise ConfigurationError(f"build_cost must be non-negative, got {build_cost}")
+    if queries_served < 0:
+        raise ConfigurationError(
+            f"queries_served must be non-negative, got {queries_served}"
+        )

@@ -1,0 +1,154 @@
+"""Build and maintenance costs of cache structures (Eqs. 10-15).
+
+* CPU nodes: build cost is boot time times the per-time price (Eq. 10);
+  maintenance is the constant per-time uptime price (Eq. 11).
+* Table columns: build cost is the network transfer of the column from the
+  back-end (Eq. 12); maintenance is its disk footprint (Eq. 13).
+* Indexes: build cost is the cost of sorting the key columns in the cache
+  (emulated as the ``select ... order by ...`` query of Section V-C) plus the
+  transfer cost of any key column not already cached (Eq. 14); maintenance is
+  the index's disk footprint (Eq. 15).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.catalog.schema import Schema
+from repro.costmodel.config import CostModelConfig
+from repro.costmodel.execution import ExecutionCostModel
+from repro.errors import ConfigurationError
+from repro.structures.base import CacheStructure, StructureKind
+from repro.structures.cached_column import CachedColumn
+from repro.structures.cached_index import CachedIndex
+from repro.structures.cpu_node import CpuNode
+from repro.workload.query import Predicate, PredicateKind, Query
+
+
+class StructureCostModel:
+    """Prices the building and maintenance of the three structure types."""
+
+    def __init__(self, execution_model: ExecutionCostModel) -> None:
+        self._execution = execution_model
+
+    @property
+    def execution_model(self) -> ExecutionCostModel:
+        """The execution cost model used to price index sorts and transfers."""
+        return self._execution
+
+    @property
+    def config(self) -> CostModelConfig:
+        """The shared cost-model configuration."""
+        return self._execution.config
+
+    @property
+    def schema(self) -> Schema:
+        """The schema structures are sized against."""
+        return self._execution.estimator.schema
+
+    # -- build costs -------------------------------------------------------------
+
+    def build_cost(self, structure: CacheStructure,
+                   cached_columns: Optional[Set[str]] = None) -> float:
+        """``BuildS(S)`` in dollars.
+
+        Args:
+            structure: the structure to price.
+            cached_columns: keys of :class:`CachedColumn` structures already in
+                the cache; index builds do not pay again for columns that are
+                already cached (Eq. 14 sums only over ``T not in Cache``).
+        """
+        if isinstance(structure, CpuNode):
+            return self._build_node()
+        if isinstance(structure, CachedColumn):
+            return self._build_column(structure)
+        if isinstance(structure, CachedIndex):
+            return self._build_index(structure, cached_columns or set())
+        raise ConfigurationError(f"unknown structure type: {structure!r}")
+
+    def build_time_s(self, structure: CacheStructure,
+                     cached_columns: Optional[Set[str]] = None) -> float:
+        """Wall-clock seconds needed to build the structure.
+
+        The simulator treats builds as background work (they do not delay the
+        triggering query), but the duration is reported in the metrics.
+        """
+        config = self.config
+        if isinstance(structure, CpuNode):
+            return config.node_boot_time_s
+        if isinstance(structure, CachedColumn):
+            size = structure.size_bytes(self.schema)
+            return config.network_latency_s + size / config.network_throughput_bps
+        if isinstance(structure, CachedIndex):
+            cached = cached_columns or set()
+            sort_estimate = self._execution.cache_execution(
+                self._index_sort_query(structure)
+            )
+            transfer_time = sum(
+                self.build_time_s(column)
+                for column in structure.required_columns()
+                if column.key not in cached
+            )
+            return sort_estimate.response_time_s + transfer_time
+        raise ConfigurationError(f"unknown structure type: {structure!r}")
+
+    # -- maintenance -----------------------------------------------------------
+
+    def maintenance_rate(self, structure: CacheStructure) -> float:
+        """``MaintS(S)`` as a $ per second rate.
+
+        CPU nodes pay the uptime price (Eq. 11); columns and indexes pay for
+        their disk footprint (Eqs. 13 and 15). The ``disk_duration_scale``
+        of the configuration is applied here.
+        """
+        config = self.config
+        if isinstance(structure, CpuNode):
+            return config.node_uptime_rate_per_second
+        if isinstance(structure, (CachedColumn, CachedIndex)):
+            return structure.size_bytes(self.schema) * config.storage_rate_per_byte_second
+        raise ConfigurationError(f"unknown structure type: {structure!r}")
+
+    def maintenance_cost(self, structure: CacheStructure, duration_s: float) -> float:
+        """Maintenance cost of keeping ``structure`` for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ConfigurationError(
+                f"duration_s must be non-negative, got {duration_s}"
+            )
+        return self.maintenance_rate(structure) * duration_s
+
+    # -- internals ----------------------------------------------------------------
+
+    def _build_node(self) -> float:
+        """Eq. 10: ``BuildN(N) = b * u``."""
+        config = self.config
+        return config.node_boot_time_s * config.pricing.cpu_node_per_second
+
+    def _build_column(self, column: CachedColumn) -> float:
+        """Eq. 12: transfer the column from the back-end over the network."""
+        size = column.size_bytes(self.schema)
+        return self._execution.transfer(size).dollars
+
+    def _build_index(self, index: CachedIndex, cached_columns: Set[str]) -> float:
+        """Eq. 14: sort the key columns in the cache, plus missing-column transfers."""
+        sort_estimate = self._execution.cache_execution(self._index_sort_query(index))
+        missing_transfer = sum(
+            self._build_column(column)
+            for column in index.required_columns()
+            if column.key not in cached_columns
+        )
+        return sort_estimate.dollars + missing_transfer
+
+    def _index_sort_query(self, index: CachedIndex) -> Query:
+        """The ``select A, B from T order by A, B`` query of Section V-C."""
+        return Query(
+            query_id=-1 & 0x7FFFFFFF,  # synthetic id, never reported
+            template_name=f"__build_{index.key}",
+            table_name=index.table_name,
+            predicates=(),
+            projection_columns=index.column_names,
+            order_by_columns=index.column_names,
+            aggregation_factor=1.0,
+            parallel_fraction=0.9,
+            # Sorting is CPU-heavier than a plain scan of the same bytes.
+            base_cost_factor=1.5,
+        )

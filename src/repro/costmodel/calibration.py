@@ -1,0 +1,94 @@
+"""Calibration of the ``f_cpu`` and ``f_io`` conversion factors.
+
+Section V-B: "If these factors are stable, their values can be estimated by
+running a fixed set of simple queries and plotting the actual CPU time and
+logical disk reads." We implement exactly that: given observations pairing
+the optimizer-reported units of a probe query with its measured CPU seconds
+and I/O operations, fit the two factors by least squares through the origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CalibrationObservation:
+    """One probe query: reported units versus measured resource usage."""
+
+    reported_cost_units: float
+    reported_io_units: float
+    measured_cpu_seconds: float
+    measured_io_operations: float
+
+    def __post_init__(self) -> None:
+        for name in ("reported_cost_units", "reported_io_units",
+                     "measured_cpu_seconds", "measured_io_operations"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted conversion factors and their goodness of fit."""
+
+    cpu_cost_factor: float
+    io_cost_factor: float
+    cpu_r_squared: float
+    io_r_squared: float
+
+    def describe(self) -> str:
+        """One-line report of the fitted factors."""
+        return (f"f_cpu={self.cpu_cost_factor:.5f} (R^2={self.cpu_r_squared:.3f}), "
+                f"f_io={self.io_cost_factor:.5f} (R^2={self.io_r_squared:.3f})")
+
+
+def calibrate_factors(
+        observations: Sequence[CalibrationObservation]) -> CalibrationResult:
+    """Fit ``f_cpu`` and ``f_io`` from probe-query observations.
+
+    The model is ``measured_cpu = f_cpu * reported_cost`` and
+    ``measured_io = f_io * reported_io`` (regression through the origin, as
+    the paper's plotting procedure implies).
+    """
+    if len(observations) < 2:
+        raise ConfigurationError(
+            f"calibration needs at least 2 observations, got {len(observations)}"
+        )
+    cpu_factor, cpu_r2 = _fit_through_origin(
+        [obs.reported_cost_units for obs in observations],
+        [obs.measured_cpu_seconds for obs in observations],
+    )
+    io_factor, io_r2 = _fit_through_origin(
+        [obs.reported_io_units for obs in observations],
+        [obs.measured_io_operations for obs in observations],
+    )
+    return CalibrationResult(
+        cpu_cost_factor=cpu_factor,
+        io_cost_factor=io_factor,
+        cpu_r_squared=cpu_r2,
+        io_r_squared=io_r2,
+    )
+
+
+def _fit_through_origin(x_values: Sequence[float],
+                        y_values: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares slope of ``y = slope * x`` plus the R^2 of the fit."""
+    x = np.asarray(x_values, dtype=float)
+    y = np.asarray(y_values, dtype=float)
+    denominator = float(np.dot(x, x))
+    if denominator == 0.0:
+        raise ConfigurationError("calibration inputs are all zero")
+    slope = float(np.dot(x, y) / denominator)
+    residuals = y - slope * x
+    total = float(np.dot(y - y.mean(), y - y.mean()))
+    if total == 0.0:
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - float(np.dot(residuals, residuals)) / total
+    return slope, r_squared

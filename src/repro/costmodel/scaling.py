@@ -1,0 +1,73 @@
+"""Multi-node scaling of query execution.
+
+Section VII-A: "Query execution scaling to multiple CPU nodes follows the
+scaling property of a prototypical SDSS query: a query can be sped up 2x
+using only 25% extra CPU overhead using 3 CPU nodes in parallel."
+
+We anchor an Amdahl-style model on that data point. A query with
+parallelisable fraction ``p`` running on ``k`` nodes has speed-up
+
+    speedup(k, p) = 1 / ((1 - p) + p / e(k))
+
+where ``e(k)`` is the parallel-efficiency curve of the prototypical query,
+calibrated so that a fully-parallel query (``p = 1``) on 3 nodes achieves
+exactly the paper's 2x. The CPU *work* grows linearly with the extra nodes so
+that 3 nodes cost 25 % more CPU than 1 node.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+
+def _reference_efficiency_slope() -> float:
+    """Per-extra-node gain that yields the reference speed-up on 3 nodes."""
+    extra_nodes = constants.SCALING_REFERENCE_NODES - 1
+    return (constants.SCALING_REFERENCE_SPEEDUP - 1.0) / extra_nodes
+
+
+def _reference_overhead_slope() -> float:
+    """Per-extra-node CPU overhead that yields the reference 25 % on 3 nodes."""
+    extra_nodes = constants.SCALING_REFERENCE_NODES - 1
+    return constants.SCALING_REFERENCE_OVERHEAD / extra_nodes
+
+
+def parallel_efficiency(node_count: int) -> float:
+    """Effective number of nodes' worth of throughput at ``node_count`` nodes."""
+    _validate_node_count(node_count)
+    return 1.0 + _reference_efficiency_slope() * (node_count - 1)
+
+
+def speedup_factor(node_count: int, parallel_fraction: float = 1.0) -> float:
+    """Wall-clock speed-up of a query on ``node_count`` nodes.
+
+    Args:
+        node_count: total number of CPU nodes executing the query (>= 1).
+        parallel_fraction: Amdahl fraction of the query's work that can be
+            spread across nodes.
+    """
+    _validate_node_count(node_count)
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ConfigurationError(
+            f"parallel_fraction must be in [0, 1], got {parallel_fraction}"
+        )
+    if node_count == 1:
+        return 1.0
+    effective = parallel_efficiency(node_count)
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / effective)
+
+
+def cpu_overhead_factor(node_count: int) -> float:
+    """Total CPU work on ``node_count`` nodes relative to a single node.
+
+    Coordination overhead grows linearly with the extra nodes, anchored on
+    the paper's 25 % at 3 nodes.
+    """
+    _validate_node_count(node_count)
+    return 1.0 + _reference_overhead_slope() * (node_count - 1)
+
+
+def _validate_node_count(node_count: int) -> None:
+    if node_count < 1:
+        raise ConfigurationError(f"node_count must be >= 1, got {node_count}")

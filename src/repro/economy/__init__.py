@@ -1,0 +1,45 @@
+"""The self-tuned cloud-cache economy (Section IV).
+
+This package implements the paper's primary contribution: user budget
+functions, the cloud account, plan pricing (execution + amortised build
+cost + maintenance dues), the case A/B/C plan negotiation, the per-structure
+regret array, the investment rule of Eq. 3, and the engine that ties them
+together per incoming query.
+"""
+
+from repro.economy.budget import (
+    BudgetFunction,
+    ConcaveBudget,
+    ConvexBudget,
+    StepBudget,
+    validate_descending,
+)
+from repro.economy.account import CloudAccount, Transaction
+from repro.economy.regret import RegretTracker
+from repro.economy.investment import InvestmentDecision, InvestmentPolicy
+from repro.economy.pricing import PlanPricer, PricedPlan
+from repro.economy.negotiation import NegotiationCase, NegotiationResult, negotiate
+from repro.economy.user_model import UserModel
+from repro.economy.engine import EconomyConfig, EconomyEngine, QueryOutcome
+
+__all__ = [
+    "BudgetFunction",
+    "StepBudget",
+    "ConvexBudget",
+    "ConcaveBudget",
+    "validate_descending",
+    "CloudAccount",
+    "Transaction",
+    "RegretTracker",
+    "InvestmentDecision",
+    "InvestmentPolicy",
+    "PlanPricer",
+    "PricedPlan",
+    "NegotiationCase",
+    "NegotiationResult",
+    "negotiate",
+    "UserModel",
+    "EconomyConfig",
+    "EconomyEngine",
+    "QueryOutcome",
+]

@@ -1,0 +1,174 @@
+"""User budget functions ``B_Q(t)`` (Section IV-C, Figure 1).
+
+The user expresses how much she is willing to pay as a function of the
+response time the cloud can guarantee. The function must be non-increasing
+on ``(0, tmax]`` and is worth nothing beyond ``tmax``. Figure 1 shows the
+three canonical shapes: a step function (a flat price up to a deadline), a
+convex decay (price drops quickly, then flattens), and a concave decay
+(price stays high, then drops towards the deadline).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.errors import BudgetFunctionError
+
+
+class BudgetFunction(abc.ABC):
+    """A non-increasing willingness-to-pay curve over response time."""
+
+    def __init__(self, max_time_s: float) -> None:
+        if max_time_s <= 0:
+            raise BudgetFunctionError(
+                f"max_time_s must be positive, got {max_time_s}"
+            )
+        self._max_time_s = float(max_time_s)
+
+    @property
+    def max_time_s(self) -> float:
+        """``tmax``: beyond this response time the user pays nothing."""
+        return self._max_time_s
+
+    def value(self, response_time_s: float) -> float:
+        """The price the user is willing to pay at ``response_time_s``.
+
+        Returns 0 for response times beyond ``tmax`` (the user would not
+        accept the service at all), and raises for non-positive times.
+        """
+        if response_time_s <= 0:
+            raise BudgetFunctionError(
+                f"response_time_s must be positive, got {response_time_s}"
+            )
+        if response_time_s > self._max_time_s:
+            return 0.0
+        return self._value_within_range(response_time_s)
+
+    def accepts(self, response_time_s: float, price: float) -> bool:
+        """Whether the user would pay ``price`` for this response time."""
+        return price <= self.value(response_time_s)
+
+    @abc.abstractmethod
+    def _value_within_range(self, response_time_s: float) -> float:
+        """The curve on ``(0, tmax]``; implementations need not re-validate."""
+
+    @abc.abstractmethod
+    def scaled(self, factor: float) -> "BudgetFunction":
+        """A copy of the function with all prices multiplied by ``factor``."""
+
+
+class StepBudget(BudgetFunction):
+    """Figure 1(a): a flat budget ``|a|`` up to ``tmax`` (the paper's user model)."""
+
+    def __init__(self, amount: float, max_time_s: float) -> None:
+        super().__init__(max_time_s)
+        if amount < 0:
+            raise BudgetFunctionError(f"amount must be non-negative, got {amount}")
+        self._amount = float(amount)
+
+    @property
+    def amount(self) -> float:
+        """The flat willingness-to-pay."""
+        return self._amount
+
+    def _value_within_range(self, response_time_s: float) -> float:
+        return self._amount
+
+    def scaled(self, factor: float) -> "StepBudget":
+        _validate_scale(factor)
+        return StepBudget(self._amount * factor, self._max_time_s)
+
+    def __repr__(self) -> str:
+        return f"StepBudget(amount={self._amount}, max_time_s={self._max_time_s})"
+
+
+class ConvexBudget(BudgetFunction):
+    """Figure 1(b): the budget decays quadratically, fast at first.
+
+    ``B(t) = amount * (1 - t / tmax)^2`` — below the straight line between
+    the endpoints, matching the convex bound given in the figure caption.
+    """
+
+    def __init__(self, amount: float, max_time_s: float) -> None:
+        super().__init__(max_time_s)
+        if amount < 0:
+            raise BudgetFunctionError(f"amount must be non-negative, got {amount}")
+        self._amount = float(amount)
+
+    @property
+    def amount(self) -> float:
+        """The willingness-to-pay at (near-)zero response time."""
+        return self._amount
+
+    def _value_within_range(self, response_time_s: float) -> float:
+        remaining = 1.0 - response_time_s / self._max_time_s
+        return self._amount * remaining * remaining
+
+    def scaled(self, factor: float) -> "ConvexBudget":
+        _validate_scale(factor)
+        return ConvexBudget(self._amount * factor, self._max_time_s)
+
+    def __repr__(self) -> str:
+        return f"ConvexBudget(amount={self._amount}, max_time_s={self._max_time_s})"
+
+
+class ConcaveBudget(BudgetFunction):
+    """Figure 1(c): the budget stays high and drops near the deadline.
+
+    ``B(t) = amount * (1 - (t / tmax)^2)`` — above the straight line between
+    the endpoints, matching the concave bound given in the figure caption.
+    """
+
+    def __init__(self, amount: float, max_time_s: float) -> None:
+        super().__init__(max_time_s)
+        if amount < 0:
+            raise BudgetFunctionError(f"amount must be non-negative, got {amount}")
+        self._amount = float(amount)
+
+    @property
+    def amount(self) -> float:
+        """The willingness-to-pay at (near-)zero response time."""
+        return self._amount
+
+    def _value_within_range(self, response_time_s: float) -> float:
+        fraction = response_time_s / self._max_time_s
+        return self._amount * (1.0 - fraction * fraction)
+
+    def scaled(self, factor: float) -> "ConcaveBudget":
+        _validate_scale(factor)
+        return ConcaveBudget(self._amount * factor, self._max_time_s)
+
+    def __repr__(self) -> str:
+        return f"ConcaveBudget(amount={self._amount}, max_time_s={self._max_time_s})"
+
+
+def validate_descending(function: BudgetFunction,
+                        sample_times: Sequence[float] = None) -> None:
+    """Check the non-increasing contract ``B(t1) >= B(t2)`` for ``t1 < t2``.
+
+    The contract is sampled on a grid (or on the provided ``sample_times``)
+    because arbitrary user-supplied budget functions cannot be checked
+    symbolically. Raises :class:`BudgetFunctionError` on a violation.
+    """
+    if sample_times is None:
+        steps = 32
+        sample_times = [
+            function.max_time_s * (index + 1) / steps for index in range(steps)
+        ]
+    ordered = sorted(float(value) for value in sample_times if value > 0)
+    previous_time = None
+    previous_value = None
+    for time_s in ordered:
+        value = function.value(time_s)
+        if previous_value is not None and value > previous_value + 1e-12:
+            raise BudgetFunctionError(
+                f"budget function increases between t={previous_time} "
+                f"({previous_value}) and t={time_s} ({value})"
+            )
+        previous_time, previous_value = time_s, value
+
+
+def _validate_scale(factor: float) -> None:
+    if factor < 0:
+        raise BudgetFunctionError(f"scale factor must be non-negative, got {factor}")

@@ -1,0 +1,428 @@
+"""The economy engine: one object that processes queries end to end.
+
+For every incoming query the engine
+
+1. lets structures whose unpaid maintenance grew too large fail (footnote 3),
+2. enumerates and prices the candidate plans against the cache state,
+3. applies the skyline filter of footnote 2,
+4. builds the user's budget function and negotiates a plan (cases A/B/C),
+5. settles the money flows (user payment in, execution cost out, structure
+   usage, maintenance recovery, amortisation recovery),
+6. distributes the regret of the plans that were not chosen to the
+   structures they are missing, and
+7. evaluates the investment rule (Eq. 3), building structures whose regret
+   justifies it and whose build cost the account can afford.
+
+The engine is scheme-agnostic: the four caching schemes of Section VII are
+thin configurations of this engine (or, for the bypass-yield baseline, a
+different decision procedure entirely — see :mod:`repro.policies`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import constants
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.cache.storage import EvictionRecord
+from repro.costmodel.amortization import AmortizationPolicy, UniformAmortization
+from repro.costmodel.build import StructureCostModel
+from repro.costmodel.execution import ExecutionCostModel
+from repro.economy.account import CloudAccount
+from repro.economy.budget import BudgetFunction
+from repro.economy.investment import InvestmentPolicy
+from repro.economy.negotiation import (
+    NegotiationCase,
+    NegotiationResult,
+    PlanSelection,
+    negotiate,
+)
+from repro.economy.pricing import PlanPricer, PricedPlan
+from repro.economy.regret import RegretTracker
+from repro.economy.user_model import UserModel
+from repro.errors import ConfigurationError, PlanningError
+from repro.planner.enumerator import PlanEnumerator
+from repro.planner.plan import PlanKind, QueryPlan
+from repro.planner.skyline import skyline_filter
+from repro.structures.base import CacheStructure, StructureKind
+from repro.structures.cached_index import CachedIndex
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class EconomyConfig:
+    """Tunables of the economy engine.
+
+    Attributes:
+        regret_fraction: ``a`` of Eq. 3.
+        amortization_horizon: ``n`` of Eq. 7 for the default uniform policy.
+        initial_credit: working capital the provider starts with; the paper's
+            cloud has been operating long before the measured window, so a
+            non-zero float makes short simulations representative.
+        divide_regret: whether a plan's regret is split equally over its
+            missing structures (True) or charged in full to each (False,
+            the default — Section IV-C adds the regret "to the positions in
+            regretS that correspond to the S employed by PQ").
+        plan_selection: how the chosen plan is picked in cases B/C.
+        require_affordable_build: the "conservative provider" rule — only
+            build when the account can pay the full build cost.
+        max_investments_per_query: cap on how many structures are built in
+            response to a single query, keeping per-query work bounded.
+        regret_pool_capacity: LRU bound on the number of structures tracked
+            by the regret array (Section IV-B).
+        user_model: how budget functions are derived for incoming queries.
+    """
+
+    regret_fraction: float = constants.DEFAULT_REGRET_FRACTION
+    amortization_horizon: int = constants.DEFAULT_AMORTIZATION_QUERIES
+    initial_credit: float = constants.DEFAULT_INITIAL_CREDIT
+    divide_regret: bool = False
+    plan_selection: PlanSelection = PlanSelection.MIN_PROFIT
+    require_affordable_build: bool = True
+    max_investments_per_query: int = 8
+    regret_pool_capacity: int = 512
+    user_model: UserModel = field(default_factory=UserModel)
+
+    def __post_init__(self) -> None:
+        if self.amortization_horizon <= 0:
+            raise ConfigurationError("amortization_horizon must be positive")
+        if self.initial_credit < 0:
+            raise ConfigurationError("initial_credit must be non-negative")
+        if self.max_investments_per_query < 0:
+            raise ConfigurationError("max_investments_per_query must be non-negative")
+        if self.regret_pool_capacity <= 0:
+            raise ConfigurationError("regret_pool_capacity must be positive")
+
+
+@dataclass(frozen=True)
+class StructureBuild:
+    """Record of one investment made by the engine."""
+
+    key: str
+    kind: StructureKind
+    build_cost: float
+    built_at: float
+    triggered_by_query: int
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Everything the simulator needs to know about one processed query."""
+
+    query: Query
+    case: NegotiationCase
+    plan_kind: PlanKind
+    plan_label: str
+    served_in_cache: bool
+    response_time_s: float
+    charge: float
+    profit: float
+    execution_cost: float
+    execution_cpu_dollars: float
+    execution_io_dollars: float
+    execution_network_dollars: float
+    network_bytes: float
+    maintenance_recovered: float
+    builds: Tuple[StructureBuild, ...]
+    build_spend: float
+    evictions: Tuple[EvictionRecord, ...]
+    eviction_losses: float
+    credit_after: float
+
+
+class EconomyEngine:
+    """Processes queries through the self-tuned economy."""
+
+    def __init__(self, enumerator: PlanEnumerator,
+                 structure_costs: StructureCostModel,
+                 cache: Optional[CacheManager] = None,
+                 config: EconomyConfig = EconomyConfig(),
+                 amortization: Optional[AmortizationPolicy] = None) -> None:
+        self._enumerator = enumerator
+        self._structure_costs = structure_costs
+        self._cache = cache if cache is not None else CacheManager(CacheConfig())
+        self._config = config
+        self._amortization = amortization or UniformAmortization(
+            config.amortization_horizon
+        )
+        self._pricer = PlanPricer(structure_costs, self._amortization)
+        self._account = CloudAccount(initial_credit=config.initial_credit)
+        self._regret = RegretTracker(pool_capacity=config.regret_pool_capacity)
+        self._investment = InvestmentPolicy(
+            regret_fraction=config.regret_fraction,
+            require_affordable=config.require_affordable_build,
+        )
+        self._outcomes: List[QueryOutcome] = []
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def config(self) -> EconomyConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def cache(self) -> CacheManager:
+        """The cache manager holding the built structures."""
+        return self._cache
+
+    @property
+    def account(self) -> CloudAccount:
+        """The cloud account (credit ``CR`` and ledger)."""
+        return self._account
+
+    @property
+    def regret_tracker(self) -> RegretTracker:
+        """The per-structure regret array."""
+        return self._regret
+
+    @property
+    def outcomes(self) -> Tuple[QueryOutcome, ...]:
+        """Outcomes of every processed query, in processing order."""
+        return tuple(self._outcomes)
+
+    @property
+    def execution_model(self) -> ExecutionCostModel:
+        """The execution cost model used by the enumerator."""
+        return self._structure_costs.execution_model
+
+    # -- main entry point --------------------------------------------------------------
+
+    def process_query(self, query: Query,
+                      now: Optional[float] = None) -> QueryOutcome:
+        """Run one query through the economy and return its outcome."""
+        time_s = query.arrival_time if now is None else now
+
+        evictions = tuple(self._cache.evict_failed_structures(time_s))
+        eviction_losses = sum(
+            record.unpaid_maintenance + record.unrecovered_build_cost
+            for record in evictions
+        )
+
+        priced = self._price_plans(query, time_s)
+        skyline = skyline_filter(
+            priced,
+            time_of=lambda plan: plan.response_time_s,
+            cost_of=lambda plan: plan.price,
+        )
+        skyline = self._ensure_existing_plan(priced, skyline)
+        budget = self._budget_for(query, priced)
+        result = negotiate(budget, skyline, self._config.plan_selection)
+
+        maintenance_recovered = self._settle_chosen_plan(query, result, time_s)
+        self._distribute_regret(result)
+        builds, build_spend = self._consider_investments(query, time_s)
+
+        outcome = self._build_outcome(
+            query, result, time_s, maintenance_recovered,
+            builds, build_spend, evictions, eviction_losses,
+        )
+        self._outcomes.append(outcome)
+        return outcome
+
+    def process_workload(self, queries: Sequence[Query]) -> List[QueryOutcome]:
+        """Process queries in order (convenience wrapper for tests/examples)."""
+        return [self.process_query(query) for query in queries]
+
+    # -- steps -----------------------------------------------------------------------
+
+    def _price_plans(self, query: Query, now: float) -> List[PricedPlan]:
+        plans = self._enumerator.enumerate(query)
+        if not plans:
+            raise PlanningError(f"no plans enumerated for query {query.query_id}")
+        return self._pricer.price_plans(plans, self._cache, now)
+
+    def _ensure_existing_plan(self, priced: List[PricedPlan],
+                              skyline: List[PricedPlan]) -> List[PricedPlan]:
+        """Guarantee the skyline still offers at least one existing plan.
+
+        The skyline is computed over price and time only; if every existing
+        plan got dominated by not-yet-built plans, negotiation would have
+        nothing executable, so the cheapest existing plan is re-added.
+        """
+        if any(plan.is_existing for plan in skyline):
+            return skyline
+        existing = [plan for plan in priced if plan.is_existing]
+        if not existing:
+            return skyline
+        cheapest = min(existing, key=lambda plan: plan.price)
+        return skyline + [cheapest]
+
+    def _budget_for(self, query: Query,
+                    priced: List[PricedPlan]) -> BudgetFunction:
+        backend = [plan for plan in priced
+                   if plan.plan.kind is PlanKind.BACKEND]
+        if backend:
+            reference = backend[0]
+        else:
+            reference = min(
+                (plan for plan in priced if plan.is_existing),
+                key=lambda plan: plan.price,
+                default=priced[0],
+            )
+        return self._config.user_model.budget_for(
+            query, reference.price, reference.response_time_s
+        )
+
+    def _settle_chosen_plan(self, query: Query, result: NegotiationResult,
+                            now: float) -> float:
+        """Move the money and update structure bookkeeping for the chosen plan."""
+        chosen = result.chosen
+        account = self._account
+        account.deposit(result.charge, now, CloudAccount.CATEGORY_QUERY_PAYMENT,
+                        note=f"query {query.query_id} ({chosen.label})")
+        execution_cost = chosen.execution_dollars
+        self._safe_withdraw(execution_cost, now,
+                            CloudAccount.CATEGORY_EXECUTION_COST,
+                            note=f"query {query.query_id}")
+
+        maintenance_recovered = 0.0
+        used_keys = [structure.key for structure in chosen.plan.structures
+                     if self._cache.contains(structure.key)]
+        if used_keys:
+            billed = self._cache.bill_maintenance(used_keys, now)
+            maintenance_recovered = sum(billed.values())
+            self._cache.record_usage(used_keys, now)
+            for key in used_keys:
+                recovered = chosen.amortized_by_structure.get(key, 0.0)
+                if recovered:
+                    self._cache.record_amortized_recovery(key, recovered)
+        return maintenance_recovered
+
+    def _distribute_regret(self, result: NegotiationResult) -> None:
+        """Spread each non-chosen plan's regret over its missing structures."""
+        built_keys = self._cache.built_keys
+        for plan, regret in result.regrets:
+            missing = plan.plan.new_structures(built_keys)
+            if not missing:
+                continue
+            self._regret.distribute(missing, regret,
+                                    divide=self._config.divide_regret)
+
+    def _consider_investments(self, query: Query,
+                              now: float) -> Tuple[Tuple[StructureBuild, ...], float]:
+        """Apply Eq. 3 and build the structures whose regret justifies it."""
+        builds: List[StructureBuild] = []
+        total_spend = 0.0
+        limit = self._config.max_investments_per_query
+        if limit == 0:
+            return tuple(builds), total_spend
+
+        decisions = self._investment.candidates(
+            self._regret, self._account,
+            build_cost_of=self._estimate_build_cost,
+            built_keys=self._cache.built_keys,
+        )
+        for decision in decisions:
+            if len(builds) >= limit:
+                break
+            structure = decision.structure
+            if self._cache.contains(structure.key):
+                continue
+            built = self._build_structure(structure, query.query_id, now)
+            if not built:
+                continue
+            builds.extend(built)
+            total_spend += sum(record.build_cost for record in built)
+        return tuple(builds), total_spend
+
+    def _estimate_build_cost(self, structure: CacheStructure) -> float:
+        cached_columns = {
+            key for key in self._cache.built_keys if key.startswith("column:")
+        }
+        return self._structure_costs.build_cost(structure, cached_columns)
+
+    def _build_structure(self, structure: CacheStructure, query_id: int,
+                         now: float) -> List[StructureBuild]:
+        """Build one structure (plus, for an index, its missing key columns).
+
+        Returns an empty list if the account can no longer afford the build
+        (credit may have dropped since the decision was evaluated).
+        """
+        plan: List[Tuple[CacheStructure, float]] = []
+        cached_columns = {
+            key for key in self._cache.built_keys if key.startswith("column:")
+        }
+        if isinstance(structure, CachedIndex):
+            for column in structure.required_columns():
+                if not self._cache.contains(column.key):
+                    plan.append((column, self._structure_costs.build_cost(column)))
+                    cached_columns.add(column.key)
+            sort_only_cost = self._structure_costs.build_cost(
+                structure, cached_columns=cached_columns | {
+                    column.key for column, _ in plan
+                },
+            )
+            plan.append((structure, sort_only_cost))
+        else:
+            plan.append((structure, self._structure_costs.build_cost(
+                structure, cached_columns=cached_columns
+            )))
+
+        total_cost = sum(cost for _, cost in plan)
+        if self._config.require_affordable_build and not self._account.can_afford(total_cost):
+            return []
+
+        builds: List[StructureBuild] = []
+        schema = self._structure_costs.schema
+        for piece, cost in plan:
+            if self._cache.contains(piece.key):
+                continue
+            self._safe_withdraw(cost, now, CloudAccount.CATEGORY_BUILD,
+                                note=piece.key)
+            self._cache.admit(
+                piece,
+                size_bytes=piece.size_bytes(schema),
+                build_cost=cost,
+                maintenance_rate=self._structure_costs.maintenance_rate(piece),
+                now=now,
+            )
+            self._regret.reset(piece.key)
+            builds.append(StructureBuild(
+                key=piece.key,
+                kind=piece.kind,
+                build_cost=cost,
+                built_at=now,
+                triggered_by_query=query_id,
+            ))
+        return builds
+
+    def _safe_withdraw(self, amount: float, now: float, category: str,
+                       note: str = "") -> None:
+        """Withdraw, capping at the available credit (losses beyond it are
+        still reflected in the metrics through the outcome records)."""
+        if amount <= 0:
+            return
+        affordable = min(amount, max(0.0, self._account.credit))
+        if affordable > 0:
+            self._account.withdraw(affordable, now, category, note=note)
+
+    def _build_outcome(self, query: Query, result: NegotiationResult, now: float,
+                       maintenance_recovered: float,
+                       builds: Tuple[StructureBuild, ...], build_spend: float,
+                       evictions: Tuple[EvictionRecord, ...],
+                       eviction_losses: float) -> QueryOutcome:
+        chosen = result.chosen
+        execution = chosen.plan.execution
+        return QueryOutcome(
+            query=query,
+            case=result.case,
+            plan_kind=chosen.plan.kind,
+            plan_label=chosen.label,
+            served_in_cache=chosen.plan.runs_in_cache,
+            response_time_s=chosen.response_time_s,
+            charge=result.charge,
+            profit=result.profit,
+            execution_cost=chosen.execution_dollars,
+            execution_cpu_dollars=execution.cpu_dollars,
+            execution_io_dollars=execution.io_dollars,
+            execution_network_dollars=execution.network_dollars,
+            network_bytes=execution.network_bytes,
+            maintenance_recovered=maintenance_recovered,
+            builds=builds,
+            build_spend=build_spend,
+            evictions=evictions,
+            eviction_losses=eviction_losses,
+            credit_after=self._account.credit,
+        )

@@ -1,0 +1,113 @@
+"""The investment rule (Eq. 3).
+
+A structure ``S`` becomes a candidate for imminent investment once its
+accumulated regret reaches a fraction ``a`` of the cloud credit ``CR``:
+
+    InvestIn(S) = round(regretS[S] / (a * CR)) >= 1,   0 < a < 1.
+
+Section VII-A adds that the provider is conservative and "builds structures
+only when her profit exceeds the cost of building them"; the policy therefore
+also requires that the account can pay the build cost outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import constants
+from repro.economy.account import CloudAccount
+from repro.economy.regret import RegretTracker
+from repro.errors import ConfigurationError
+from repro.structures.base import CacheStructure
+
+
+@dataclass(frozen=True)
+class InvestmentDecision:
+    """The outcome of evaluating one structure for investment."""
+
+    structure: CacheStructure
+    regret: float
+    invest_score: int
+    build_cost: float
+    affordable: bool
+
+    @property
+    def should_build(self) -> bool:
+        """Whether the cloud should build the structure now."""
+        return self.invest_score >= 1 and self.affordable
+
+
+class InvestmentPolicy:
+    """Evaluates the regret array against the credit and decides what to build."""
+
+    def __init__(self, regret_fraction: float = constants.DEFAULT_REGRET_FRACTION,
+                 require_affordable: bool = True,
+                 minimum_credit: float = 1e-9) -> None:
+        if not 0.0 < regret_fraction < 1.0:
+            raise ConfigurationError(
+                f"regret_fraction must be in (0, 1), got {regret_fraction}"
+            )
+        if minimum_credit <= 0:
+            raise ConfigurationError("minimum_credit must be positive")
+        self._regret_fraction = regret_fraction
+        self._require_affordable = require_affordable
+        self._minimum_credit = minimum_credit
+
+    @property
+    def regret_fraction(self) -> float:
+        """``a`` of Eq. 3."""
+        return self._regret_fraction
+
+    def invest_score(self, regret: float, credit: float) -> int:
+        """``InvestIn(S)`` of Eq. 3; 0 when the credit is (near) zero.
+
+        With no credit the cloud has nothing to invest, so rather than
+        dividing by zero the score is reported as 0.
+        """
+        if regret < 0:
+            raise ConfigurationError(f"regret must be non-negative, got {regret}")
+        if credit < self._minimum_credit:
+            return 0
+        return int(round(regret / (self._regret_fraction * credit)))
+
+    def evaluate(self, structure: CacheStructure, regret: float,
+                 build_cost: float, account: CloudAccount) -> InvestmentDecision:
+        """Evaluate one structure for investment."""
+        score = self.invest_score(regret, account.credit)
+        affordable = (not self._require_affordable) or account.can_afford(build_cost)
+        return InvestmentDecision(
+            structure=structure,
+            regret=regret,
+            invest_score=score,
+            build_cost=build_cost,
+            affordable=affordable,
+        )
+
+    def candidates(self, tracker: RegretTracker, account: CloudAccount,
+                   build_cost_of, built_keys=()) -> List[InvestmentDecision]:
+        """All structures whose regret currently justifies building them.
+
+        Args:
+            tracker: the regret array.
+            account: the cloud account (provides ``CR``).
+            build_cost_of: callable mapping a structure to its build cost.
+            built_keys: keys of structures already in the cache (skipped).
+
+        Returns decisions with ``should_build`` true, sorted by descending
+        regret so the most-regretted structure is built first.
+        """
+        built = set(built_keys)
+        decisions: List[InvestmentDecision] = []
+        for key, regret in tracker.ranked():
+            if key in built:
+                continue
+            structure = tracker.structure(key)
+            if structure is None:
+                continue
+            decision = self.evaluate(
+                structure, regret, build_cost_of(structure), account
+            )
+            if decision.should_build:
+                decisions.append(decision)
+        return decisions

@@ -1,0 +1,178 @@
+"""Plan negotiation: Cases A, B and C of Section IV-C (Figure 2).
+
+The user budget function ``B_Q`` is compared against the cloud's discrete
+budget function ``B_PQ`` (the priced plans):
+
+* **Case A** — every plan costs more than the user is willing to pay. The
+  user is shown the existing plans and (per the experimental setup) accepts
+  the cheapest one, typically back-end execution, paying its price with no
+  cloud profit. Regret records the missed chance to serve the query more
+  cheaply (Eq. 1).
+* **Case B** — every plan is within budget. The cloud picks the existing
+  plan that minimises its own profit, charges the user her budget at that
+  response time, and credits the difference. Regret records the profit the
+  not-yet-built plans would have brought (Eq. 2).
+* **Case C** — only some plans are within budget; handled like Case B
+  restricted to the affordable subset.
+
+The selection criterion is configurable because the experimental section
+evaluates variants: econ-cheap picks the cheapest affordable plan and
+econ-fast the fastest affordable plan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.economy.budget import BudgetFunction
+from repro.economy.pricing import PricedPlan
+from repro.errors import PlanningError
+
+
+class NegotiationCase(enum.Enum):
+    """Which of the three relationships between ``B_Q`` and ``B_PQ`` held."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+
+
+class PlanSelection(enum.Enum):
+    """How the chosen plan is picked among the affordable existing plans."""
+
+    #: Paper default for cases B/C: minimise the cloud profit
+    #: ``B_Q(t) - B_PQ(t)``.
+    MIN_PROFIT = "min_profit"
+    #: econ-cheap: pick the plan with the least cost.
+    CHEAPEST = "cheapest"
+    #: econ-fast: pick the plan with the fastest response time.
+    FASTEST = "fastest"
+
+
+@dataclass(frozen=True)
+class NegotiationResult:
+    """Outcome of negotiating one query."""
+
+    case: NegotiationCase
+    chosen: PricedPlan
+    charge: float
+    profit: float
+    regrets: Tuple[Tuple[PricedPlan, float], ...]
+
+    @property
+    def response_time_s(self) -> float:
+        """Response time of the chosen plan."""
+        return self.chosen.response_time_s
+
+
+def negotiate(budget: BudgetFunction, priced_plans: Sequence[PricedPlan],
+              selection: PlanSelection = PlanSelection.MIN_PROFIT
+              ) -> NegotiationResult:
+    """Choose a plan for one query and compute the regrets of the others.
+
+    Args:
+        budget: the user's budget function ``B_Q``.
+        priced_plans: the (skyline-filtered) plan set ``PQ``; must contain at
+            least one existing plan.
+        selection: tie-breaking policy among affordable existing plans.
+
+    Raises:
+        PlanningError: if ``priced_plans`` contains no existing plan (the
+            back-end plan should always be offered).
+    """
+    existing = [plan for plan in priced_plans if plan.is_existing]
+    possible = [plan for plan in priced_plans if not plan.is_existing]
+    if not existing:
+        raise PlanningError("negotiation requires at least one existing plan")
+
+    affordable_existing = [
+        plan for plan in existing
+        if budget.accepts(plan.response_time_s, plan.price)
+    ]
+
+    if not affordable_existing:
+        return _case_a(budget, existing, possible)
+
+    all_within_budget = all(
+        budget.accepts(plan.response_time_s, plan.price) for plan in priced_plans
+    )
+    case = NegotiationCase.B if all_within_budget else NegotiationCase.C
+    return _case_b_or_c(budget, case, affordable_existing, possible, selection)
+
+
+def _case_a(budget: BudgetFunction, existing: List[PricedPlan],
+            possible: List[PricedPlan]) -> NegotiationResult:
+    """No plan fits the budget: the user reluctantly pays for the cheapest
+    existing plan; regret follows Eq. 1."""
+    chosen = min(existing, key=lambda plan: (plan.price, plan.response_time_s))
+    regrets: List[Tuple[PricedPlan, float]] = []
+    for plan in possible:
+        if plan is chosen:
+            continue
+        # Eq. 1: the difference of the cost of the chosen and the not-chosen
+        # plan, for plans that would have been cheaper.
+        regret = chosen.price - plan.price
+        if regret > 0:
+            regrets.append((plan, regret))
+    return NegotiationResult(
+        case=NegotiationCase.A,
+        chosen=chosen,
+        charge=chosen.price,
+        profit=0.0,
+        regrets=tuple(regrets),
+    )
+
+
+def _case_b_or_c(budget: BudgetFunction, case: NegotiationCase,
+                 affordable_existing: List[PricedPlan],
+                 possible: List[PricedPlan],
+                 selection: PlanSelection) -> NegotiationResult:
+    """Some or all plans fit the budget: pick per the selection criterion,
+    charge the user's budget at the chosen response time, credit the profit,
+    and record Eq. 2 regrets for the plans that are not built yet."""
+    chosen = _select(budget, affordable_existing, selection)
+    charge = budget.value(chosen.response_time_s)
+    profit = max(0.0, charge - chosen.price)
+
+    regrets: List[Tuple[PricedPlan, float]] = []
+    for plan in possible:
+        budget_at_plan = budget.value(plan.response_time_s)
+        if budget_at_plan <= 0:
+            continue
+        # Eq. 2 measures the profit the cloud would have made had this plan
+        # (and its structures) been available. We take it *relative to* the
+        # profit actually made on the chosen plan: only the additional
+        # profit is a missed opportunity. This differential reading is what
+        # lets the economy "identify the commonly used structures and use
+        # them first" (Section IV-C) instead of regretting structures whose
+        # plans would be no better than what the cloud already offers.
+        # Only affordable plans generate regret (Case C restricts to P_QS).
+        regret = (budget_at_plan - plan.price) - profit
+        if regret > 0:
+            regrets.append((plan, regret))
+    return NegotiationResult(
+        case=case,
+        chosen=chosen,
+        charge=charge,
+        profit=profit,
+        regrets=tuple(regrets),
+    )
+
+
+def _select(budget: BudgetFunction, plans: List[PricedPlan],
+            selection: PlanSelection) -> PricedPlan:
+    if selection is PlanSelection.MIN_PROFIT:
+        return min(
+            plans,
+            key=lambda plan: (
+                budget.value(plan.response_time_s) - plan.price,
+                plan.response_time_s,
+            ),
+        )
+    if selection is PlanSelection.CHEAPEST:
+        return min(plans, key=lambda plan: (plan.price, plan.response_time_s))
+    if selection is PlanSelection.FASTEST:
+        return min(plans, key=lambda plan: (plan.response_time_s, plan.price))
+    raise PlanningError(f"unknown selection criterion: {selection!r}")

@@ -1,0 +1,120 @@
+"""Plan pricing: the discrete cloud budget function ``B_PQ(t)``.
+
+The price of a plan (Eq. 4) is its execution cost plus the amortised build
+cost of every structure it uses (Eqs. 5-7), plus — for structures that are
+already built — the maintenance accrued since a paying plan last used them
+(footnote 3). Plans in ``PQpos`` are priced with the estimated build cost of
+their missing structures amortised from scratch, which is exactly the price
+a future query would see once the cloud invests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cache.manager import CacheManager
+from repro.costmodel.amortization import AmortizationPolicy
+from repro.costmodel.build import StructureCostModel
+from repro.planner.plan import QueryPlan
+from repro.structures.base import CacheStructure
+
+
+@dataclass(frozen=True)
+class PricedPlan:
+    """A plan together with its price breakdown at a specific moment.
+
+    The total ``price`` is the value of the cloud budget function
+    ``B_PQ`` at the plan's execution time: execution cost plus amortised
+    build cost (Eq. 4). The maintenance accrued by the plan's structures
+    since they were last used (footnote 3) is reported separately in
+    ``maintenance_dollars`` and recovered from the payment when the plan is
+    selected, but it is deliberately *not* folded into the price: doing so
+    would make a structure ever more expensive to use the longer it sits
+    idle, a self-reinforcing spiral that locks the cache out at long
+    inter-arrival times (the economy then never recovers the dues at all).
+    """
+
+    plan: QueryPlan
+    execution_dollars: float
+    amortized_dollars: float
+    maintenance_dollars: float
+    new_structures: Tuple[CacheStructure, ...]
+    amortized_by_structure: Dict[str, float]
+
+    @property
+    def price(self) -> float:
+        """``B_PQ(t_PQ)``: what a user would be charged at minimum for this plan."""
+        return self.execution_dollars + self.amortized_dollars
+
+    @property
+    def response_time_s(self) -> float:
+        """The plan's execution time ``t_PQ``."""
+        return self.plan.response_time_s
+
+    @property
+    def is_existing(self) -> bool:
+        """Whether the plan uses only structures that are already built."""
+        return not self.new_structures
+
+    @property
+    def label(self) -> str:
+        """The underlying plan's short label."""
+        return self.plan.label
+
+
+class PlanPricer:
+    """Prices plans against the current cache state."""
+
+    def __init__(self, structure_costs: StructureCostModel,
+                 amortization: AmortizationPolicy) -> None:
+        self._structure_costs = structure_costs
+        self._amortization = amortization
+
+    @property
+    def amortization(self) -> AmortizationPolicy:
+        """The amortisation policy in force."""
+        return self._amortization
+
+    def price_plan(self, plan: QueryPlan, cache: CacheManager,
+                   now: float) -> PricedPlan:
+        """Price a single plan against the cache state at time ``now``."""
+        built_keys = cache.built_keys
+        cached_column_keys = {
+            key for key in built_keys if key.startswith("column:")
+        }
+        amortized_total = 0.0
+        maintenance_total = 0.0
+        amortized_by_structure: Dict[str, float] = {}
+        new_structures: List[CacheStructure] = []
+
+        for structure in plan.structures:
+            if cache.contains(structure.key):
+                entry = cache.entry(structure.key)
+                charge = self._amortization.charge(
+                    entry.build_cost, entry.queries_served
+                )
+                charge = min(charge, entry.unrecovered_build_cost())
+                maintenance_total += entry.accrued_maintenance(now)
+            else:
+                new_structures.append(structure)
+                build_cost = self._structure_costs.build_cost(
+                    structure, cached_columns=cached_column_keys
+                )
+                charge = self._amortization.charge(build_cost, 0)
+            amortized_by_structure[structure.key] = charge
+            amortized_total += charge
+
+        return PricedPlan(
+            plan=plan,
+            execution_dollars=plan.execution_dollars,
+            amortized_dollars=amortized_total,
+            maintenance_dollars=maintenance_total,
+            new_structures=tuple(new_structures),
+            amortized_by_structure=amortized_by_structure,
+        )
+
+    def price_plans(self, plans: Sequence[QueryPlan], cache: CacheManager,
+                    now: float) -> List[PricedPlan]:
+        """Price every plan in ``plans`` (convenience wrapper)."""
+        return [self.price_plan(plan, cache, now) for plan in plans]

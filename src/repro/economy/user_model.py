@@ -1,0 +1,75 @@
+"""The simulated user: how budget functions are attached to queries.
+
+The paper's users "define a step preference function B_Q and accept query
+execution in the back-end" (Section VII-A). We model the willingness-to-pay
+as a multiple of what the query would cost when served straight from the
+back-end database — the price of the only service the user could get without
+the cache — scaled per query by the workload generator's ``budget_scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.economy.budget import (
+    BudgetFunction,
+    ConcaveBudget,
+    ConvexBudget,
+    StepBudget,
+)
+from repro.errors import ConfigurationError
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class UserModel:
+    """Turns a query and its back-end reference price into a budget function.
+
+    Attributes:
+        budget_factor: how much the user is willing to pay relative to the
+            back-end reference price (1.5 means "up to 50 % more than the
+            uncached service would cost").
+        max_time_factor: ``tmax`` as a multiple of the back-end response
+            time; the user always accepts back-end execution, so this must
+            be at least 1.
+        shape: ``"step"``, ``"convex"`` or ``"concave"`` (Figure 1).
+        minimum_budget: floor on the willingness-to-pay, so queries with a
+            tiny reference price still carry a meaningful budget.
+    """
+
+    budget_factor: float = 1.2
+    max_time_factor: float = 2.0
+    shape: str = "step"
+    minimum_budget: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.budget_factor <= 0:
+            raise ConfigurationError("budget_factor must be positive")
+        if self.max_time_factor < 1.0:
+            raise ConfigurationError(
+                "max_time_factor must be >= 1 so the back-end plan is acceptable"
+            )
+        if self.shape not in ("step", "convex", "concave"):
+            raise ConfigurationError(
+                f"shape must be 'step', 'convex' or 'concave', got {self.shape!r}"
+            )
+        if self.minimum_budget < 0:
+            raise ConfigurationError("minimum_budget must be non-negative")
+
+    def budget_for(self, query: Query, backend_price: float,
+                   backend_response_time_s: float) -> BudgetFunction:
+        """The budget function the user submits along with ``query``."""
+        if backend_price < 0:
+            raise ConfigurationError("backend_price must be non-negative")
+        if backend_response_time_s <= 0:
+            raise ConfigurationError("backend_response_time_s must be positive")
+        amount = max(
+            self.minimum_budget,
+            self.budget_factor * backend_price * query.budget_scale,
+        )
+        max_time = self.max_time_factor * backend_response_time_s
+        if self.shape == "step":
+            return StepBudget(amount, max_time)
+        if self.shape == "convex":
+            return ConvexBudget(amount, max_time)
+        return ConcaveBudget(amount, max_time)

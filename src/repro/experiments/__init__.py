@@ -1,0 +1,54 @@
+"""Experiment drivers that regenerate the paper's evaluation.
+
+* :mod:`repro.experiments.figure4` — operating cost per scheme per
+  inter-arrival time (Figure 4).
+* :mod:`repro.experiments.figure5` — average response time per scheme per
+  inter-arrival time (Figure 5).
+* :mod:`repro.experiments.headline` — the ratios called out in the text of
+  Section VII-B.
+* :mod:`repro.experiments.ablations` — sensitivity studies on the design
+  choices DESIGN.md calls out (regret fraction, amortisation horizon,
+  workload locality, bypass cache budget).
+
+All drivers share one grid runner (:mod:`repro.experiments.runner`) so that a
+single simulation sweep feeds every figure.
+"""
+
+from repro.experiments.config import (
+    BENCH_PROFILE,
+    PAPER_PROFILE,
+    QUICK_PROFILE,
+    ExperimentProfile,
+)
+from repro.experiments.runner import CellResult, ExperimentGrid, run_grid
+from repro.experiments.figure4 import figure4_rows, figure4_table
+from repro.experiments.figure5 import figure5_rows, figure5_table
+from repro.experiments.headline import HeadlineRatios, headline_ratios
+from repro.experiments.ablations import (
+    amortization_ablation,
+    bypass_budget_ablation,
+    locality_ablation,
+    regret_fraction_ablation,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentProfile",
+    "PAPER_PROFILE",
+    "QUICK_PROFILE",
+    "BENCH_PROFILE",
+    "CellResult",
+    "ExperimentGrid",
+    "run_grid",
+    "figure4_rows",
+    "figure4_table",
+    "figure5_rows",
+    "figure5_table",
+    "HeadlineRatios",
+    "headline_ratios",
+    "regret_fraction_ablation",
+    "amortization_ablation",
+    "locality_ablation",
+    "bypass_budget_ablation",
+    "format_table",
+]

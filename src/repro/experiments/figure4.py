@@ -1,0 +1,52 @@
+"""Figure 4: comparison of operating costs for the caching schemes.
+
+The paper plots, for each query inter-arrival time (1, 10, 30, 60 seconds),
+the operating cost in dollars of the four schemes. The driver reproduces the
+same series: one row per inter-arrival time, one column per scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ExperimentProfile, PAPER_PROFILE
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentGrid, run_grid
+
+
+def figure4_rows(grid: ExperimentGrid) -> List[List[object]]:
+    """The Figure 4 series as table rows.
+
+    Each row is ``[interarrival_s, cost(scheme_1), cost(scheme_2), ...]`` in
+    the profile's scheme order.
+    """
+    rows: List[List[object]] = []
+    for interval in grid.profile.interarrival_times_s:
+        row: List[object] = [interval]
+        for scheme in grid.profile.schemes:
+            row.append(grid.metric(scheme, interval,
+                                   lambda summary: summary.operating_cost))
+        rows.append(row)
+    return rows
+
+
+def figure4_table(profile: Optional[ExperimentProfile] = None,
+                  grid: Optional[ExperimentGrid] = None) -> str:
+    """Render Figure 4 as a text table (runs the grid if needed)."""
+    if grid is None:
+        grid = run_grid(profile or PAPER_PROFILE)
+    headers = ["interarrival_s"] + [f"{name} ($)" for name in grid.profile.schemes]
+    return format_table(
+        headers, figure4_rows(grid),
+        title=(f"Figure 4 - operating cost in $ "
+               f"({grid.profile.query_count} queries, profile {grid.profile.name!r})"),
+    )
+
+
+def main() -> None:
+    """Command-line entry point: print the Figure 4 table."""
+    print(figure4_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Figure 5: comparison of average response time for the caching schemes.
+
+One row per query inter-arrival time, one column per scheme, values in
+seconds — the same series the paper's Figure 5 plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentProfile, PAPER_PROFILE
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentGrid, run_grid
+
+
+def figure5_rows(grid: ExperimentGrid) -> List[List[object]]:
+    """The Figure 5 series as table rows."""
+    rows: List[List[object]] = []
+    for interval in grid.profile.interarrival_times_s:
+        row: List[object] = [interval]
+        for scheme in grid.profile.schemes:
+            row.append(grid.metric(scheme, interval,
+                                   lambda summary: summary.mean_response_time_s))
+        rows.append(row)
+    return rows
+
+
+def figure5_table(profile: Optional[ExperimentProfile] = None,
+                  grid: Optional[ExperimentGrid] = None) -> str:
+    """Render Figure 5 as a text table (runs the grid if needed)."""
+    if grid is None:
+        grid = run_grid(profile or PAPER_PROFILE)
+    headers = ["interarrival_s"] + [f"{name} (s)" for name in grid.profile.schemes]
+    return format_table(
+        headers, figure5_rows(grid),
+        title=(f"Figure 5 - average response time in seconds "
+               f"({grid.profile.query_count} queries, profile {grid.profile.name!r})"),
+    )
+
+
+def main() -> None:
+    """Command-line entry point: print the Figure 5 table."""
+    print(figure5_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""The headline ratios of Section VII-B.
+
+The running text of the evaluation calls out several relationships between
+the schemes; these are the claims EXPERIMENTS.md tracks one by one:
+
+1. econ-col is cheaper than net-only at the 1-second interval (the paper
+   reports roughly 7 % from reduced CPU usage).
+2. econ-cheap's response time is about 50 % of econ-col's.
+3. econ-cheap is substantially cheaper than net-only (about 45 %).
+4. econ-fast further reduces the response time (about 10 % in the paper).
+5. operating cost grows as the inter-arrival time grows.
+6. at the 60-second interval econ-col is cheaper than econ-cheap.
+7. bypass and econ-col keep similar response times across intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentProfile, PAPER_PROFILE
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentGrid, run_grid
+
+
+@dataclass(frozen=True)
+class HeadlineRatios:
+    """The measured counterparts of the Section VII-B claims."""
+
+    econ_col_vs_bypass_cost: float
+    econ_cheap_vs_econ_col_response: float
+    econ_cheap_vs_bypass_cost: float
+    econ_fast_vs_econ_cheap_response: float
+    cost_increases_with_interval: bool
+    econ_col_cheaper_than_econ_cheap_at_60s: bool
+    bypass_econ_col_response_gap: float
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows for the headline report table: claim, paper, measured."""
+        return [
+            ["econ-col cost / bypass cost @1s", "~0.93", self.econ_col_vs_bypass_cost],
+            ["econ-cheap response / econ-col response @1s", "~0.50",
+             self.econ_cheap_vs_econ_col_response],
+            ["econ-cheap cost / bypass cost @1s", "~0.55", self.econ_cheap_vs_bypass_cost],
+            ["econ-fast response / econ-cheap response @1s", "~0.90",
+             self.econ_fast_vs_econ_cheap_response],
+            ["operating cost grows with the interval", "yes",
+             self.cost_increases_with_interval],
+            ["econ-col cheaper than econ-cheap @60s", "yes",
+             self.econ_col_cheaper_than_econ_cheap_at_60s],
+            ["|bypass - econ-col| response gap @1s (relative)", "~0.0",
+             self.bypass_econ_col_response_gap],
+        ]
+
+
+def headline_ratios(grid: Optional[ExperimentGrid] = None,
+                    profile: Optional[ExperimentProfile] = None) -> HeadlineRatios:
+    """Compute the headline ratios from a grid (running it if needed)."""
+    if grid is None:
+        grid = run_grid(profile or PAPER_PROFILE)
+    intervals = grid.profile.interarrival_times_s
+    shortest = min(intervals)
+    required = {"bypass", "econ-col", "econ-cheap", "econ-fast"}
+    missing = required.difference(grid.profile.schemes)
+    if missing:
+        raise ExperimentError(
+            f"headline ratios need all four schemes; missing {sorted(missing)}"
+        )
+
+    def cost(scheme: str, interval: float) -> float:
+        return grid.metric(scheme, interval, lambda s: s.operating_cost)
+
+    def response(scheme: str, interval: float) -> float:
+        return grid.metric(scheme, interval, lambda s: s.mean_response_time_s)
+
+    bypass_costs = grid.series("bypass", lambda s: s.operating_cost)
+    cost_grows = all(later >= earlier * 0.99
+                     for earlier, later in zip(bypass_costs, bypass_costs[1:]))
+
+    longest = max(intervals)
+    bypass_response = response("bypass", shortest)
+    econ_col_response = response("econ-col", shortest)
+    response_gap = abs(bypass_response - econ_col_response) / bypass_response
+
+    return HeadlineRatios(
+        econ_col_vs_bypass_cost=cost("econ-col", shortest) / cost("bypass", shortest),
+        econ_cheap_vs_econ_col_response=(
+            response("econ-cheap", shortest) / econ_col_response
+        ),
+        econ_cheap_vs_bypass_cost=(
+            cost("econ-cheap", shortest) / cost("bypass", shortest)
+        ),
+        econ_fast_vs_econ_cheap_response=(
+            response("econ-fast", shortest) / response("econ-cheap", shortest)
+        ),
+        cost_increases_with_interval=cost_grows,
+        econ_col_cheaper_than_econ_cheap_at_60s=(
+            cost("econ-col", longest) < cost("econ-cheap", longest)
+        ),
+        bypass_econ_col_response_gap=response_gap,
+    )
+
+
+def headline_table(grid: Optional[ExperimentGrid] = None,
+                   profile: Optional[ExperimentProfile] = None) -> str:
+    """Render the headline claims versus measurements as a text table."""
+    ratios = headline_ratios(grid=grid, profile=profile)
+    return format_table(
+        ["claim (Section VII-B)", "paper", "measured"], ratios.as_rows(),
+        title="Headline claims: paper versus this reproduction",
+    )
+
+
+def main() -> None:
+    """Command-line entry point: print the headline table."""
+    print(headline_table())
+
+
+if __name__ == "__main__":
+    main()

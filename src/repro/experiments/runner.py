@@ -1,0 +1,125 @@
+"""The (scheme x inter-arrival time) grid runner shared by Figures 4 and 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.costmodel.config import CostModelConfig
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentProfile
+from repro.simulator.metrics import MetricsSummary
+from repro.simulator.simulation import CloudSimulation, SimulationConfig
+from repro.system import CloudSystem, CloudSystemConfig
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Result of one (scheme, inter-arrival time) cell."""
+
+    scheme: str
+    interarrival_s: float
+    summary: MetricsSummary
+
+
+class ExperimentGrid:
+    """All cell results of one profile, addressable by scheme and interval."""
+
+    def __init__(self, profile: ExperimentProfile,
+                 cells: Iterable[CellResult]) -> None:
+        self._profile = profile
+        self._cells: Dict[Tuple[str, float], CellResult] = {}
+        for cell in cells:
+            self._cells[(cell.scheme, cell.interarrival_s)] = cell
+
+    @property
+    def profile(self) -> ExperimentProfile:
+        """The profile the grid was produced with."""
+        return self._profile
+
+    @property
+    def cells(self) -> Tuple[CellResult, ...]:
+        """All cells, in insertion order."""
+        return tuple(self._cells.values())
+
+    def cell(self, scheme: str, interarrival_s: float) -> CellResult:
+        """One cell, or raise :class:`ExperimentError` if it was not run."""
+        try:
+            return self._cells[(scheme, interarrival_s)]
+        except KeyError:
+            raise ExperimentError(
+                f"no cell for scheme={scheme!r}, interarrival={interarrival_s}"
+            ) from None
+
+    def metric(self, scheme: str, interarrival_s: float,
+               accessor: Callable[[MetricsSummary], float]) -> float:
+        """Extract one metric from one cell."""
+        return accessor(self.cell(scheme, interarrival_s).summary)
+
+    def series(self, scheme: str,
+               accessor: Callable[[MetricsSummary], float]) -> List[float]:
+        """One metric across the interval sweep, in profile order."""
+        return [
+            self.metric(scheme, interval, accessor)
+            for interval in self._profile.interarrival_times_s
+        ]
+
+
+def build_system(profile: ExperimentProfile) -> CloudSystem:
+    """Assemble the cloud system an experiment profile calls for."""
+    cost_model = CostModelConfig(disk_duration_scale=profile.disk_duration_scale)
+    return CloudSystem(CloudSystemConfig(
+        database_bytes=profile.database_bytes,
+        cost_model=cost_model,
+    ))
+
+
+def run_cell(system: CloudSystem, profile: ExperimentProfile, scheme_name: str,
+             interarrival_s: float,
+             workload_spec: Optional[WorkloadSpec] = None) -> CellResult:
+    """Run one (scheme, interval) cell against a prepared system."""
+    spec = workload_spec or WorkloadSpec(
+        query_count=profile.query_count,
+        interarrival_s=interarrival_s,
+        seed=profile.seed,
+    )
+    workload = WorkloadGenerator(spec.with_interarrival(interarrival_s)).generate()
+    scheme = system.scheme(scheme_name)
+    simulation = CloudSimulation(
+        scheme, SimulationConfig(warmup_queries=profile.warmup_queries)
+    )
+    result = simulation.run(workload)
+    return CellResult(
+        scheme=scheme_name,
+        interarrival_s=interarrival_s,
+        summary=result.summary,
+    )
+
+
+_GRID_CACHE: Dict[ExperimentProfile, ExperimentGrid] = {}
+
+
+def run_grid(profile: ExperimentProfile, use_cache: bool = True) -> ExperimentGrid:
+    """Run the full (scheme x interval) grid for a profile.
+
+    Results are cached per profile within the process so that Figure 4,
+    Figure 5 and the headline ratios — which all read the same grid — only
+    pay for the simulations once.
+    """
+    if use_cache and profile in _GRID_CACHE:
+        return _GRID_CACHE[profile]
+    system = build_system(profile)
+    cells: List[CellResult] = []
+    for interarrival in profile.interarrival_times_s:
+        for scheme_name in profile.schemes:
+            cells.append(run_cell(system, profile, scheme_name, interarrival))
+    grid = ExperimentGrid(profile, cells)
+    if use_cache:
+        _GRID_CACHE[profile] = grid
+    return grid
+
+
+def clear_grid_cache() -> None:
+    """Drop all cached grids (used by tests)."""
+    _GRID_CACHE.clear()

@@ -1,0 +1,23 @@
+"""Query-plan enumeration.
+
+Upon receiving a query, the cloud considers a set of plans ``PQ`` split into
+plans that use only existing cache structures (``PQexist``) and plans that
+would need new structures (``PQpos``). This package models plans, enumerates
+them, produces the candidate-index pool (the paper's 65 DB2 recommendations)
+and provides the skyline filter of footnote 2.
+"""
+
+from repro.planner.plan import PlanKind, QueryPlan, required_columns_for
+from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
+from repro.planner.index_advisor import IndexAdvisor
+from repro.planner.skyline import skyline_filter
+
+__all__ = [
+    "PlanKind",
+    "QueryPlan",
+    "required_columns_for",
+    "EnumeratorConfig",
+    "PlanEnumerator",
+    "IndexAdvisor",
+    "skyline_filter",
+]

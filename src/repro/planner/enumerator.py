@@ -1,0 +1,152 @@
+"""Plan enumeration.
+
+For every incoming query the enumerator produces the candidate plan set
+``PQ``: the back-end plan (always available), cache column-scan plans, and —
+when the scheme permits — index plans and multi-node variants. Which of
+these plans fall into ``PQexist`` versus ``PQpos`` is determined later by
+the economy against the current cache contents; the enumerator itself is
+stateless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.costmodel.execution import ExecutionCostModel
+from repro.errors import PlanningError
+from repro.planner.plan import PlanKind, QueryPlan, required_columns_for
+from repro.structures.base import CacheStructure
+from repro.structures.cached_index import CachedIndex
+from repro.structures.cpu_node import CpuNode
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class EnumeratorConfig:
+    """What kinds of plans a caching scheme is allowed to consider.
+
+    Attributes:
+        allow_index_plans: whether plans may probe cached indexes
+            (econ-cheap and econ-fast only).
+        max_extra_nodes: how many CPU nodes beyond the always-on node plans
+            may use (0 disables multi-node plans).
+        allow_backend_plan: whether the back-end plan is offered; the paper
+            always offers it ("the user ... accepts query execution in the
+            back-end"), so disabling it is only useful in unit tests.
+        max_candidate_indexes_per_query: cap on how many candidate indexes
+            are turned into plans for a single query, keeping the plan set
+            (and the skyline input) small.
+    """
+
+    allow_index_plans: bool = True
+    max_extra_nodes: int = 2
+    allow_backend_plan: bool = True
+    max_candidate_indexes_per_query: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_extra_nodes < 0:
+            raise PlanningError("max_extra_nodes must be non-negative")
+        if self.max_candidate_indexes_per_query < 0:
+            raise PlanningError(
+                "max_candidate_indexes_per_query must be non-negative"
+            )
+
+
+class PlanEnumerator:
+    """Enumerates and cost-annotates the candidate plans for a query."""
+
+    def __init__(self, execution_model: ExecutionCostModel,
+                 candidate_indexes: Sequence[CachedIndex] = (),
+                 config: EnumeratorConfig = EnumeratorConfig()) -> None:
+        self._execution = execution_model
+        self._candidate_indexes = tuple(candidate_indexes)
+        self._config = config
+
+    @property
+    def config(self) -> EnumeratorConfig:
+        """The enumeration capabilities."""
+        return self._config
+
+    @property
+    def candidate_indexes(self) -> Tuple[CachedIndex, ...]:
+        """The candidate-index pool plans may draw from."""
+        return self._candidate_indexes
+
+    # -- enumeration -----------------------------------------------------------
+
+    def enumerate(self, query: Query) -> List[QueryPlan]:
+        """All candidate plans for ``query``, in no particular order."""
+        plans: List[QueryPlan] = []
+        if self._config.allow_backend_plan:
+            plans.append(self._backend_plan(query))
+        required_columns = required_columns_for(query)
+        for node_count in self._node_counts():
+            plans.append(self._column_scan_plan(query, required_columns, node_count))
+            if self._config.allow_index_plans:
+                for index in self._relevant_indexes(query):
+                    plans.append(
+                        self._index_plan(query, required_columns, index, node_count)
+                    )
+        return plans
+
+    # -- plan constructors --------------------------------------------------------
+
+    def _backend_plan(self, query: Query) -> QueryPlan:
+        execution = self._execution.backend_execution(query)
+        return QueryPlan(query=query, kind=PlanKind.BACKEND, execution=execution)
+
+    def _column_scan_plan(self, query: Query,
+                          required_columns: Tuple[CacheStructure, ...],
+                          node_count: int) -> QueryPlan:
+        execution = self._execution.cache_execution(
+            query, index=None, node_count=node_count
+        )
+        structures = required_columns + self._node_structures(node_count)
+        return QueryPlan(
+            query=query,
+            kind=PlanKind.CACHE_COLUMN_SCAN,
+            execution=execution,
+            structures=structures,
+            node_count=node_count,
+        )
+
+    def _index_plan(self, query: Query,
+                    required_columns: Tuple[CacheStructure, ...],
+                    index: CachedIndex, node_count: int) -> QueryPlan:
+        execution = self._execution.cache_execution(
+            query, index=index, node_count=node_count
+        )
+        structures = required_columns + (index,) + self._node_structures(node_count)
+        return QueryPlan(
+            query=query,
+            kind=PlanKind.CACHE_INDEX,
+            execution=execution,
+            structures=structures,
+            index=index,
+            node_count=node_count,
+        )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _node_counts(self) -> Iterable[int]:
+        return range(1, self._config.max_extra_nodes + 2)
+
+    def _node_structures(self, node_count: int) -> Tuple[CacheStructure, ...]:
+        """Extra-node structures a plan with ``node_count`` total nodes needs."""
+        return tuple(CpuNode(ordinal) for ordinal in range(1, node_count))
+
+    def _relevant_indexes(self, query: Query) -> List[CachedIndex]:
+        """Candidate indexes whose leading column is predicated by the query.
+
+        The most selective candidates (fewest key columns first, so probing
+        stays cheap) are preferred when the per-query cap truncates the list.
+        """
+        relevant = [
+            index for index in self._candidate_indexes
+            if any(index.serves_predicate_on(query.table_name, column)
+                   for column in query.predicate_columns)
+        ]
+        relevant.sort(key=lambda index: (len(index.column_names), index.key))
+        cap = self._config.max_candidate_indexes_per_query
+        return relevant[:cap] if cap else []

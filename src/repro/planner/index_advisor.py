@@ -1,0 +1,117 @@
+"""Candidate-index advisor.
+
+Section VII-A uses "65 potentially useful indexes from DB2's 'recommend
+indexes' mode recommendations". We cannot run DB2, so the advisor derives
+candidates the way what-if advisors do: from the workload templates it
+proposes single-column indexes on every predicated column, composite indexes
+extending each predicate column with the other predicate and sort columns of
+its template, and covering indexes that add projection columns — then pads
+or truncates deterministically to the requested pool size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro import constants
+from repro.catalog.schema import Schema
+from repro.errors import PlanningError
+from repro.structures.cached_index import CachedIndex
+from repro.workload.query import QueryTemplate
+from repro.workload.templates import paper_templates
+
+
+class IndexAdvisor:
+    """Derives a deterministic pool of candidate indexes from query templates."""
+
+    def __init__(self, schema: Schema,
+                 templates: Sequence[QueryTemplate] = None,
+                 pool_size: int = constants.DEFAULT_CANDIDATE_INDEX_COUNT) -> None:
+        if pool_size <= 0:
+            raise PlanningError(f"pool_size must be positive, got {pool_size}")
+        self._schema = schema
+        self._templates = tuple(templates if templates is not None else paper_templates())
+        self._pool_size = pool_size
+
+    @property
+    def pool_size(self) -> int:
+        """Number of candidate indexes the advisor returns."""
+        return self._pool_size
+
+    def candidates(self) -> Tuple[CachedIndex, ...]:
+        """The candidate pool, deterministic for a given schema and template set."""
+        ordered: Dict[str, CachedIndex] = {}
+        for index in self._single_column_candidates():
+            ordered.setdefault(index.key, index)
+        for index in self._composite_candidates():
+            ordered.setdefault(index.key, index)
+        for index in self._covering_candidates():
+            ordered.setdefault(index.key, index)
+        candidates = list(ordered.values())
+        if len(candidates) > self._pool_size:
+            return tuple(candidates[:self._pool_size])
+        return tuple(candidates)
+
+    # -- candidate families ------------------------------------------------------
+
+    def _single_column_candidates(self) -> Iterable[CachedIndex]:
+        """One single-column index per predicated column of every template."""
+        for template in self._templates:
+            for predicate in template.predicates:
+                if not self._schema.has_table(predicate.table_name):
+                    continue
+                yield CachedIndex(predicate.table_name, (predicate.column_name,))
+
+    def _composite_candidates(self) -> Iterable[CachedIndex]:
+        """Indexes led by each predicate column, extended with the template's
+        other predicate columns and then its sort columns."""
+        for template in self._templates:
+            fact_predicates = [name for name in template.predicate_columns]
+            sort_columns = [name for name in template.order_by_columns]
+            for leading in fact_predicates:
+                key: List[str] = [leading]
+                for other in fact_predicates:
+                    if other not in key:
+                        key.append(other)
+                for sort_column in sort_columns:
+                    if sort_column not in key:
+                        key.append(sort_column)
+                if len(key) > 1:
+                    yield CachedIndex(template.table_name, tuple(key))
+
+    def _covering_candidates(self) -> Iterable[CachedIndex]:
+        """Predicate-led indexes that also cover the template's projection."""
+        for template in self._templates:
+            fact_predicates = list(template.predicate_columns)
+            if not fact_predicates:
+                continue
+            key: List[str] = list(fact_predicates)
+            for column in template.projection_columns:
+                if column not in key:
+                    key.append(column)
+            if len(key) > len(fact_predicates):
+                yield CachedIndex(template.table_name, tuple(key))
+
+    # -- registration --------------------------------------------------------------
+
+    def register_with_schema(self) -> Tuple[CachedIndex, ...]:
+        """Add the candidate definitions to the schema's index catalog.
+
+        Returns the candidate pool; registration is idempotent per advisor
+        because index names are derived from their keys.
+        """
+        from repro.catalog.schema import Index
+
+        candidates = self.candidates()
+        existing = set(self._schema.index_names)
+        for candidate in candidates:
+            name = candidate.key
+            if name in existing:
+                continue
+            self._schema.add_index(Index(
+                name=name,
+                table_name=candidate.table_name,
+                column_names=candidate.column_names,
+            ))
+            existing.add(name)
+        return candidates

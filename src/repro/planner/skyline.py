@@ -1,0 +1,49 @@
+"""Skyline filtering of candidate plans.
+
+Footnote 2 of the paper: "We assume that PQ holds only the skyline query
+plans (w.r.t. execution time and overall cost); i.e. if there are two plans
+with the same execution time, only the cheapest one is encompassed in PQ."
+
+A plan is dominated if another plan is at least as fast *and* at least as
+cheap (and strictly better in one of the two dimensions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+PlanT = TypeVar("PlanT")
+
+
+def skyline_filter(plans: Sequence[PlanT],
+                   time_of: Callable[[PlanT], float],
+                   cost_of: Callable[[PlanT], float],
+                   tolerance: float = 1e-12) -> List[PlanT]:
+    """Return the non-dominated plans, sorted by ascending execution time.
+
+    Args:
+        plans: candidate plans.
+        time_of: accessor returning a plan's execution time.
+        cost_of: accessor returning a plan's overall cost.
+        tolerance: two values closer than this are considered equal, so that
+            floating-point noise does not create spurious skyline points.
+    """
+    if not plans:
+        return []
+    ordered = sorted(plans, key=lambda plan: (time_of(plan), cost_of(plan)))
+    skyline: List[PlanT] = []
+    best_cost = float("inf")
+    for plan in ordered:
+        plan_time = time_of(plan)
+        plan_cost = cost_of(plan)
+        if skyline and abs(plan_time - time_of(skyline[-1])) <= tolerance:
+            # Same execution time as the previous skyline plan: footnote 2
+            # keeps only the cheapest of the two.
+            if plan_cost < cost_of(skyline[-1]):
+                skyline[-1] = plan
+                best_cost = min(best_cost, plan_cost)
+            continue
+        if plan_cost < best_cost - tolerance:
+            skyline.append(plan)
+            best_cost = plan_cost
+    return skyline

@@ -1,0 +1,35 @@
+"""The caching schemes evaluated in Section VII.
+
+* ``bypass`` (net-only): the bypass-yield baseline of Malik et al. — only
+  network traffic matters, only table columns are cached, the cache budget is
+  30 % of the database size.
+* ``econ-col``: the economic model restricted to cached columns.
+* ``econ-cheap``: the full economic model (columns, indexes, extra CPU
+  nodes) choosing the cheapest affordable plan.
+* ``econ-fast``: like econ-cheap but choosing the fastest affordable plan.
+"""
+
+from repro.policies.base import CachingScheme, SchemeStep
+from repro.policies.bypass_yield import BypassYieldConfig, BypassYieldScheme
+from repro.policies.economic import (
+    EconomicScheme,
+    EconomicSchemeConfig,
+    build_econ_cheap,
+    build_econ_col,
+    build_econ_fast,
+)
+from repro.policies.factory import SCHEME_NAMES, build_scheme
+
+__all__ = [
+    "CachingScheme",
+    "SchemeStep",
+    "BypassYieldConfig",
+    "BypassYieldScheme",
+    "EconomicScheme",
+    "EconomicSchemeConfig",
+    "build_econ_col",
+    "build_econ_cheap",
+    "build_econ_fast",
+    "SCHEME_NAMES",
+    "build_scheme",
+]

@@ -1,0 +1,76 @@
+"""Common interface of the caching schemes.
+
+The simulator only needs two things from a scheme: process one query and
+report what it cost (so Figures 4 and 5 can be regenerated), and expose the
+cache manager (so storage and node-uptime costs can be integrated over
+simulated time).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cache.manager import CacheManager
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class SchemeStep:
+    """What one query cost under one scheme.
+
+    All dollar figures are *resource* costs (what the infrastructure
+    provider bills the cloud), not user charges; the user-side money flows
+    are reported separately so profit can be analysed.
+    """
+
+    query_id: int
+    template_name: str
+    arrival_time_s: float
+    response_time_s: float
+    served_in_cache: bool
+    plan_label: str
+    execution_cpu_dollars: float
+    execution_io_dollars: float
+    execution_network_dollars: float
+    build_dollars: float
+    network_bytes: float
+    charge: float
+    profit: float
+    builds: int
+    evictions: int
+    eviction_losses: float
+
+    @property
+    def execution_dollars(self) -> float:
+        """Total execution resource cost of the step."""
+        return (self.execution_cpu_dollars + self.execution_io_dollars
+                + self.execution_network_dollars)
+
+    @property
+    def resource_dollars(self) -> float:
+        """Execution plus build resource cost of the step (no maintenance)."""
+        return self.execution_dollars + self.build_dollars
+
+
+class CachingScheme(abc.ABC):
+    """A caching scheme the simulator can drive."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Scheme identifier used in reports (e.g. ``"econ-cheap"``)."""
+
+    @property
+    @abc.abstractmethod
+    def cache(self) -> CacheManager:
+        """The cache manager holding the scheme's built structures."""
+
+    @abc.abstractmethod
+    def process(self, query: Query) -> SchemeStep:
+        """Serve one query and report its step record."""
+
+    def maintenance_rate(self) -> float:
+        """Current $ per second of storage and node uptime the scheme pays."""
+        return self.cache.maintenance_rate_total()

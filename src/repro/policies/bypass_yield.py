@@ -1,0 +1,170 @@
+"""The bypass-yield (net-only) baseline of Malik et al., ICDE 2005.
+
+Section VII-A describes how the baseline is emulated: "associating cost only
+with network bandwidth, therefore setting costs for CPU, disk and I/O to
+zero. This cache, denoted as net-only, tries to reduce the network bandwidth
+and caches only table columns. The experiments employ the ideal cache size
+for net-only, which is 30% of the total database size. The net-only cache
+avoids using indexes to speed up queries."
+
+The scheme's *decisions* therefore look only at bytes moved over the
+network: a column is loaded into the cache once the result traffic it has
+caused (its accumulated *yield*) justifies the one-time transfer of the
+column. Its *measured* operating cost, however, is computed with the full
+resource pricing, so Figures 4 and 5 compare all schemes on the same meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import constants
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.catalog.schema import Schema
+from repro.costmodel.build import StructureCostModel
+from repro.costmodel.execution import ExecutionCostModel
+from repro.errors import ConfigurationError
+from repro.planner.plan import required_columns_for
+from repro.policies.base import CachingScheme, SchemeStep
+from repro.structures.cached_column import CachedColumn
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class BypassYieldConfig:
+    """Tunables of the bypass-yield baseline.
+
+    Attributes:
+        cache_fraction: cache budget as a fraction of the database size
+            (the paper's ideal 30 %).
+        yield_fraction: a column is loaded once the result bytes shipped by
+            queries that wanted it exceed this fraction of the column's size;
+            the smaller the value, the less conservative the baseline.
+    """
+
+    cache_fraction: float = constants.BYPASS_CACHE_FRACTION
+    yield_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ConfigurationError("cache_fraction must be in (0, 1]")
+        if self.yield_fraction <= 0:
+            raise ConfigurationError("yield_fraction must be positive")
+
+
+class BypassYieldScheme(CachingScheme):
+    """Net-only caching: bypass the cache until loading a column pays off in bytes."""
+
+    def __init__(self, execution_model: ExecutionCostModel,
+                 structure_costs: StructureCostModel,
+                 config: BypassYieldConfig = BypassYieldConfig()) -> None:
+        self._execution = execution_model
+        self._structure_costs = structure_costs
+        self._config = config
+        schema = execution_model.estimator.schema
+        capacity = int(config.cache_fraction * schema.total_size_bytes)
+        self._cache = CacheManager(CacheConfig(capacity_bytes=capacity))
+        self._yield_bytes: Dict[str, float] = {}
+
+    @property
+    def name(self) -> str:
+        return "bypass"
+
+    @property
+    def cache(self) -> CacheManager:
+        return self._cache
+
+    @property
+    def config(self) -> BypassYieldConfig:
+        """The baseline's configuration."""
+        return self._config
+
+    # -- query processing ----------------------------------------------------------
+
+    def process(self, query: Query) -> SchemeStep:
+        now = query.arrival_time
+        required = required_columns_for(query)
+        missing = [column for column in required
+                   if not self._cache.contains(column.key)]
+
+        if not missing:
+            return self._serve_from_cache(query, required, now)
+        return self._serve_from_backend(query, missing, now)
+
+    # -- the two service paths --------------------------------------------------------
+
+    def _serve_from_cache(self, query: Query,
+                          required: Tuple[CachedColumn, ...],
+                          now: float) -> SchemeStep:
+        estimate = self._execution.cache_execution(query, index=None, node_count=1)
+        self._cache.record_usage([column.key for column in required], now)
+        return self._step(query, now, estimate.response_time_s, True,
+                          "cache_column_scan", estimate, build_dollars=0.0,
+                          builds=0, evictions=0, eviction_losses=0.0)
+
+    def _serve_from_backend(self, query: Query, missing: List[CachedColumn],
+                            now: float) -> SchemeStep:
+        estimate = self._execution.backend_execution(query)
+        result_bytes = query.result_bytes(self._execution.estimator)
+
+        build_dollars = 0.0
+        builds = 0
+        evictions = 0
+        eviction_losses = 0.0
+        schema = self._execution.estimator.schema
+        for column in missing:
+            accumulated = self._yield_bytes.get(column.key, 0.0) + result_bytes
+            self._yield_bytes[column.key] = accumulated
+            threshold = self._config.yield_fraction * column.size_bytes(schema)
+            if accumulated < threshold:
+                continue
+            cost, evicted = self._load_column(column, now)
+            build_dollars += cost
+            builds += 1
+            evictions += len(evicted)
+            eviction_losses += sum(record.unrecovered_build_cost
+                                   for record in evicted)
+        return self._step(query, now, estimate.response_time_s, False,
+                          "backend", estimate, build_dollars=build_dollars,
+                          builds=builds, evictions=evictions,
+                          eviction_losses=eviction_losses)
+
+    def _load_column(self, column: CachedColumn, now: float):
+        """Transfer a column into the cache, LRU-evicting under the 30 % budget."""
+        schema = self._execution.estimator.schema
+        cost = self._structure_costs.build_cost(column)
+        evicted = self._cache.admit(
+            column,
+            size_bytes=column.size_bytes(schema),
+            build_cost=cost,
+            maintenance_rate=self._structure_costs.maintenance_rate(column),
+            now=now,
+        )
+        self._yield_bytes.pop(column.key, None)
+        return cost, evicted
+
+    # -- record assembly -----------------------------------------------------------------
+
+    def _step(self, query: Query, now: float, response_time_s: float,
+              served_in_cache: bool, plan_label: str, estimate,
+              build_dollars: float, builds: int, evictions: int,
+              eviction_losses: float) -> SchemeStep:
+        return SchemeStep(
+            query_id=query.query_id,
+            template_name=query.template_name,
+            arrival_time_s=now,
+            response_time_s=response_time_s,
+            served_in_cache=served_in_cache,
+            plan_label=plan_label,
+            execution_cpu_dollars=estimate.cpu_dollars,
+            execution_io_dollars=estimate.io_dollars,
+            execution_network_dollars=estimate.network_dollars,
+            build_dollars=build_dollars,
+            network_bytes=estimate.network_bytes,
+            charge=estimate.dollars,
+            profit=0.0,
+            builds=builds,
+            evictions=evictions,
+            eviction_losses=eviction_losses,
+        )

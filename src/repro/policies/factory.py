@@ -1,0 +1,50 @@
+"""Scheme factory: build any of the paper's four schemes by name."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.costmodel.build import StructureCostModel
+from repro.costmodel.execution import ExecutionCostModel
+from repro.errors import ConfigurationError
+from repro.policies.base import CachingScheme
+from repro.policies.bypass_yield import BypassYieldConfig, BypassYieldScheme
+from repro.policies.economic import (
+    EconomicSchemeConfig,
+    build_econ_cheap,
+    build_econ_col,
+    build_econ_fast,
+)
+
+#: The four schemes of Figures 4 and 5, in the order the paper plots them.
+SCHEME_NAMES = ("bypass", "econ-col", "econ-cheap", "econ-fast")
+
+
+def build_scheme(name: str, execution_model: ExecutionCostModel,
+                 structure_costs: StructureCostModel,
+                 economic_config: Optional[EconomicSchemeConfig] = None,
+                 bypass_config: Optional[BypassYieldConfig] = None
+                 ) -> CachingScheme:
+    """Build a scheme by its paper name.
+
+    Args:
+        name: one of :data:`SCHEME_NAMES`.
+        execution_model: the shared execution cost model.
+        structure_costs: the shared structure cost model.
+        economic_config: configuration for the econ-* schemes.
+        bypass_config: configuration for the bypass baseline.
+    """
+    if name == "bypass":
+        return BypassYieldScheme(
+            execution_model, structure_costs,
+            config=bypass_config or BypassYieldConfig(),
+        )
+    if name == "econ-col":
+        return build_econ_col(execution_model, structure_costs, economic_config)
+    if name == "econ-cheap":
+        return build_econ_cheap(execution_model, structure_costs, economic_config)
+    if name == "econ-fast":
+        return build_econ_fast(execution_model, structure_costs, economic_config)
+    raise ConfigurationError(
+        f"unknown scheme {name!r}; expected one of {', '.join(SCHEME_NAMES)}"
+    )

@@ -1,0 +1,35 @@
+"""Resource pricing for the cloud cache.
+
+The economy prices every resource the cache consumes: CPU time, disk
+storage, disk I/O operations, and network transfer. The defaults mirror the
+2009-era Amazon EC2/S3 public price list that the paper imports its cost
+values from.
+"""
+
+from repro.pricing.catalog import (
+    ResourcePricing,
+    ec2_2009_pricing,
+    free_network_pricing,
+    network_only_pricing,
+)
+from repro.pricing.units import (
+    bytes_to_gigabytes,
+    format_dollars,
+    gigabytes_to_bytes,
+    megabits_per_second_to_bytes_per_second,
+    per_gb_month_to_per_byte_second,
+    per_hour_to_per_second,
+)
+
+__all__ = [
+    "ResourcePricing",
+    "ec2_2009_pricing",
+    "free_network_pricing",
+    "network_only_pricing",
+    "bytes_to_gigabytes",
+    "gigabytes_to_bytes",
+    "format_dollars",
+    "megabits_per_second_to_bytes_per_second",
+    "per_gb_month_to_per_byte_second",
+    "per_hour_to_per_second",
+]

@@ -1,0 +1,149 @@
+"""The resource price catalog used by the cost model.
+
+Section IV-D prices a query plan from the resources it consumes; Section
+VII-A states that the cost values for the caching service are imported from
+Amazon EC2. :func:`ec2_2009_pricing` reconstructs that 2009-era price list.
+The bypass-yield baseline of Malik et al. is emulated by
+:func:`network_only_pricing`, which zeroes every price except network
+transfer, exactly as described in Section VII-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PricingError
+from repro.pricing import units
+
+
+@dataclass(frozen=True)
+class ResourcePricing:
+    """Per-resource prices, in the units cloud providers quote them in.
+
+    Attributes:
+        cpu_node_per_hour: price of one cache CPU node per hour of uptime
+            (``u`` in Eq. 10 and ``c`` in Eq. 11).
+        disk_gb_month: price of storing one GB in the cache for one month
+            (``cd`` in Eqs. 13 and 15, before unit conversion).
+        io_per_million: price of one million disk I/O operations
+            (the ``io`` factor of Eq. 8).
+        network_gb: price of transferring one GB between the back-end
+            database and the cache (``cb`` in Eqs. 9 and 12, per byte after
+            conversion).
+        cpu_second: price of one second of CPU work inside a node
+            (the ``c`` factor multiplying ``qtot`` in Eq. 8). Defaults to the
+            per-second share of the node-hour price.
+    """
+
+    cpu_node_per_hour: float = 0.10
+    disk_gb_month: float = 0.15
+    io_per_million: float = 0.10
+    network_gb: float = 0.17
+    cpu_second: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cpu_second is None:
+            object.__setattr__(
+                self, "cpu_second", units.per_hour_to_per_second(self.cpu_node_per_hour)
+            )
+        for name in ("cpu_node_per_hour", "disk_gb_month", "io_per_million",
+                     "network_gb", "cpu_second"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)):
+                raise PricingError(f"{name} must be a number, got {value!r}")
+            if value < 0:
+                raise PricingError(f"{name} must be non-negative, got {value}")
+
+    # -- derived per-unit rates used by the cost model ---------------------
+
+    @property
+    def cpu_node_per_second(self) -> float:
+        """Cost of keeping one CPU node up for one second."""
+        return units.per_hour_to_per_second(self.cpu_node_per_hour)
+
+    @property
+    def disk_byte_second(self) -> float:
+        """Cost of storing one byte in the cache for one second."""
+        return units.per_gb_month_to_per_byte_second(self.disk_gb_month)
+
+    @property
+    def io_operation(self) -> float:
+        """Cost of a single disk I/O operation."""
+        return units.per_million_ops_to_per_op(self.io_per_million)
+
+    @property
+    def network_byte(self) -> float:
+        """Cost of transferring one byte between back-end and cache (``cb``)."""
+        return units.per_gb_to_per_byte(self.network_gb)
+
+    # -- convenience constructors ------------------------------------------
+
+    def with_overrides(self, **overrides: float) -> "ResourcePricing":
+        """Return a copy with some prices replaced.
+
+        ``cpu_second`` is re-derived from the node-hour price unless it is
+        explicitly overridden, so that ``with_overrides(cpu_node_per_hour=...)``
+        stays internally consistent.
+        """
+        if "cpu_node_per_hour" in overrides and "cpu_second" not in overrides:
+            overrides["cpu_second"] = units.per_hour_to_per_second(
+                overrides["cpu_node_per_hour"]
+            )
+        return replace(self, **overrides)
+
+    def scaled(self, factor: float) -> "ResourcePricing":
+        """Return a copy with every price multiplied by ``factor``."""
+        if factor < 0:
+            raise PricingError(f"scale factor must be non-negative, got {factor}")
+        return ResourcePricing(
+            cpu_node_per_hour=self.cpu_node_per_hour * factor,
+            disk_gb_month=self.disk_gb_month * factor,
+            io_per_million=self.io_per_million * factor,
+            network_gb=self.network_gb * factor,
+            cpu_second=self.cpu_second * factor,
+        )
+
+
+def ec2_2009_pricing() -> ResourcePricing:
+    """The 2009 Amazon EC2/S3 price list the paper imports its costs from.
+
+    Small EC2 instances were $0.10 per hour, S3/EBS storage $0.15 per
+    GB-month, EBS I/O $0.10 per million requests, and internet data transfer
+    $0.17 per GB (first tier, data out).
+    """
+    return ResourcePricing(
+        cpu_node_per_hour=0.10,
+        disk_gb_month=0.15,
+        io_per_million=0.10,
+        network_gb=0.17,
+    )
+
+
+def network_only_pricing(base: ResourcePricing = None) -> ResourcePricing:
+    """Pricing used to emulate the bypass-yield (net-only) baseline.
+
+    Section VII-A: the baseline "is emulated by associating cost only with
+    network bandwidth, therefore setting costs for CPU, disk and I/O to
+    zero".
+    """
+    if base is None:
+        base = ec2_2009_pricing()
+    return ResourcePricing(
+        cpu_node_per_hour=0.0,
+        disk_gb_month=0.0,
+        io_per_million=0.0,
+        network_gb=base.network_gb,
+        cpu_second=0.0,
+    )
+
+
+def free_network_pricing(base: ResourcePricing = None) -> ResourcePricing:
+    """Pricing of a provider that gives network bandwidth away for free.
+
+    The introduction cites GoGrid as an example of a provider that does not
+    charge for bandwidth; this catalog is used by the ablation experiments to
+    show how the economy shifts its investments when network is free.
+    """
+    if base is None:
+        base = ec2_2009_pricing()
+    return base.with_overrides(network_gb=0.0)

@@ -1,0 +1,69 @@
+"""Unit-conversion helpers shared by the pricing and cost-model layers.
+
+Cloud price lists quote prices per GB-month, per instance-hour, or per GB
+transferred, while the simulator internally accounts for bytes and seconds.
+These helpers keep the conversions in one place so the rest of the code never
+multiplies magic numbers.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import PricingError
+
+
+def per_hour_to_per_second(price_per_hour: float) -> float:
+    """Convert an hourly price (e.g. an EC2 instance-hour) to a per-second rate."""
+    _require_non_negative(price_per_hour, "price_per_hour")
+    return price_per_hour / constants.SECONDS_PER_HOUR
+
+
+def per_gb_month_to_per_byte_second(price_per_gb_month: float) -> float:
+    """Convert a storage price quoted per GB-month into a per-byte-second rate."""
+    _require_non_negative(price_per_gb_month, "price_per_gb_month")
+    return price_per_gb_month / constants.GB / constants.SECONDS_PER_MONTH
+
+
+def per_gb_to_per_byte(price_per_gb: float) -> float:
+    """Convert a transfer price quoted per GB into a per-byte rate."""
+    _require_non_negative(price_per_gb, "price_per_gb")
+    return price_per_gb / constants.GB
+
+
+def per_million_ops_to_per_op(price_per_million: float) -> float:
+    """Convert an I/O price quoted per million operations into a per-op rate."""
+    _require_non_negative(price_per_million, "price_per_million")
+    return price_per_million / 1_000_000.0
+
+
+def megabits_per_second_to_bytes_per_second(mbps: float) -> float:
+    """Convert a link speed in Mbps into bytes per second."""
+    if mbps <= 0:
+        raise PricingError(f"throughput must be positive, got {mbps}")
+    return mbps * constants.MB / 8.0
+
+
+def bytes_to_gigabytes(size_bytes: float) -> float:
+    """Express a byte count in (decimal) gigabytes."""
+    _require_non_negative(size_bytes, "size_bytes")
+    return size_bytes / constants.GB
+
+
+def gigabytes_to_bytes(size_gb: float) -> int:
+    """Express a (decimal) gigabyte count in bytes, rounded to whole bytes."""
+    _require_non_negative(size_gb, "size_gb")
+    return int(round(size_gb * constants.GB))
+
+
+def format_dollars(amount: float) -> str:
+    """Render a dollar amount the way the experiment reports print it."""
+    if abs(amount) >= 100:
+        return f"${amount:,.0f}"
+    if abs(amount) >= 1:
+        return f"${amount:,.2f}"
+    return f"${amount:.4f}"
+
+
+def _require_non_negative(value: float, name: str) -> None:
+    if value < 0:
+        raise PricingError(f"{name} must be non-negative, got {value}")

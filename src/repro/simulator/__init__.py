@@ -1,0 +1,26 @@
+"""Event-driven simulation of the cloud cache.
+
+The simulator replays a workload against a caching scheme, advancing a
+simulation clock from query arrival to query arrival, integrating the
+time-proportional costs (disk storage and node uptime) between events, and
+collecting the metrics Figures 4 and 5 report: total operating cost and
+average response time.
+"""
+
+from repro.simulator.clock import SimulationClock
+from repro.simulator.events import Event, EventQueue, QueryArrivalEvent
+from repro.simulator.metrics import MetricsCollector, MetricsSummary
+from repro.simulator.results import SimulationResult
+from repro.simulator.simulation import CloudSimulation, SimulationConfig
+
+__all__ = [
+    "SimulationClock",
+    "Event",
+    "EventQueue",
+    "QueryArrivalEvent",
+    "MetricsCollector",
+    "MetricsSummary",
+    "SimulationResult",
+    "CloudSimulation",
+    "SimulationConfig",
+]

@@ -1,0 +1,77 @@
+"""A minimal discrete-event core.
+
+The current experiments only need query-arrival events, but the queue is
+generic so extensions (periodic maintenance settlements, asynchronous build
+completions) can be added without restructuring the simulation loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something that happens at a simulated instant."""
+
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise SimulationError(f"event time must be non-negative, got {self.time_s}")
+
+
+@dataclass(frozen=True)
+class QueryArrivalEvent(Event):
+    """A user query arriving at the coordinator."""
+
+    query: Query = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.query is None:
+            raise SimulationError("QueryArrivalEvent requires a query")
+
+
+class EventQueue:
+    """A time-ordered event queue with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        """Whether any events remain."""
+        return not self._heap
+
+    def push(self, event: Event) -> None:
+        """Schedule an event."""
+        heapq.heappush(self._heap, (event.time_s, next(self._counter), event))
+
+    def push_all(self, events) -> None:
+        """Schedule many events."""
+        for event in events:
+            self.push(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        _, _, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

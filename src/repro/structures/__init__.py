@@ -1,0 +1,20 @@
+"""Cache structures the cloud can invest in.
+
+Section V-C: "the cache needs to decide on building and maintaining three
+different types of structures: 1) CPU nodes N, 2) table columns T, and
+3) indexes I". Each structure knows its identity (a stable key used by the
+regret tracker), its size on disk, and which queries it can serve.
+"""
+
+from repro.structures.base import CacheStructure, StructureKind
+from repro.structures.cpu_node import CpuNode
+from repro.structures.cached_column import CachedColumn
+from repro.structures.cached_index import CachedIndex
+
+__all__ = [
+    "CacheStructure",
+    "StructureKind",
+    "CpuNode",
+    "CachedColumn",
+    "CachedIndex",
+]

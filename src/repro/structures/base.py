@@ -1,0 +1,53 @@
+"""Common interface of the three cache structure types."""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from repro.catalog.schema import Schema
+
+
+class StructureKind(enum.Enum):
+    """The three structure types of Section V-C."""
+
+    CPU_NODE = "cpu_node"
+    COLUMN = "column"
+    INDEX = "index"
+
+
+class CacheStructure(abc.ABC):
+    """A physical structure the cloud can build in its cache.
+
+    Structures are value objects: two structures with the same key are the
+    same structure, regardless of when or by whom they were instantiated.
+    The key is what the regret array (``regretS`` in the paper) is indexed
+    by, and what the cache manager stores.
+    """
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> StructureKind:
+        """Which of the three structure types this is."""
+
+    @property
+    @abc.abstractmethod
+    def key(self) -> str:
+        """Stable, unique identifier (e.g. ``"column:lineitem.l_shipdate"``)."""
+
+    @abc.abstractmethod
+    def size_bytes(self, schema: Schema) -> int:
+        """Disk footprint of the structure; 0 for CPU nodes."""
+
+    # Value semantics -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStructure):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.key!r})"

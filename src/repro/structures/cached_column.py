@@ -1,0 +1,48 @@
+"""Cached table-column structures.
+
+Section V-C: "the columns of the original tables in the back-end databases
+are cached, in order to facilitate a comparison with [bypass-yield
+caching]". Building a column means transferring it from the back-end over
+the network (Eq. 12); maintaining it means paying for its disk space
+(Eq. 13).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema
+from repro.structures.base import CacheStructure, StructureKind
+
+
+class CachedColumn(CacheStructure):
+    """One column of one back-end table, materialised in the cache."""
+
+    def __init__(self, table_name: str, column_name: str) -> None:
+        self._table_name = table_name
+        self._column_name = column_name
+
+    @property
+    def table_name(self) -> str:
+        """Name of the back-end table the column belongs to."""
+        return self._table_name
+
+    @property
+    def column_name(self) -> str:
+        """Name of the column within its table."""
+        return self._column_name
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.column`` form used in logs and reports."""
+        return f"{self._table_name}.{self._column_name}"
+
+    @property
+    def kind(self) -> StructureKind:
+        return StructureKind.COLUMN
+
+    @property
+    def key(self) -> str:
+        return f"column:{self.qualified_name}"
+
+    def size_bytes(self, schema: Schema) -> int:
+        """On-disk size of the cached column (validates the names)."""
+        return schema.table(self._table_name).column_size_bytes(self._column_name)

@@ -1,0 +1,47 @@
+"""CPU node structures.
+
+Section V-C: "we exploit the scalability of cloud infrastructure and
+dynamically boot up a system on demand". Booting a node costs ``b * u``
+(Eq. 10) and keeping it up costs a constant per unit time (Eq. 11); a node
+occupies no cache disk space.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema
+from repro.errors import ConfigurationError
+from repro.structures.base import CacheStructure, StructureKind
+
+
+class CpuNode(CacheStructure):
+    """One additional CPU node beyond the always-on coordinator node.
+
+    ``ordinal`` is 1 for the first *extra* node, 2 for the second, and so
+    on. Making nodes individually identified (rather than a single count)
+    lets the regret tracker charge regret to "the second extra node" only
+    when a plan actually wanted two extra nodes.
+    """
+
+    def __init__(self, ordinal: int) -> None:
+        if ordinal < 1:
+            raise ConfigurationError(
+                f"extra CPU node ordinal must be >= 1, got {ordinal}"
+            )
+        self._ordinal = ordinal
+
+    @property
+    def ordinal(self) -> int:
+        """1-based position of this node among the extra nodes."""
+        return self._ordinal
+
+    @property
+    def kind(self) -> StructureKind:
+        return StructureKind.CPU_NODE
+
+    @property
+    def key(self) -> str:
+        return f"cpu_node:{self._ordinal}"
+
+    def size_bytes(self, schema: Schema) -> int:
+        """CPU nodes consume no cache disk space."""
+        return 0

@@ -1,0 +1,133 @@
+"""A facade that wires the subsystems together.
+
+Most callers — the examples, the experiment drivers, and downstream users —
+want the same assembly: a TPC-H-like schema at some size, a selectivity
+estimator over it, a cost model with some pricing, the candidate-index pool,
+and a scheme built on top. :class:`CloudSystem` packages that wiring behind
+one constructor so application code stays short without hiding any of the
+pieces (every component remains reachable as an attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro import constants
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import SelectivityEstimator
+from repro.catalog.tpch import build_tpch_schema
+from repro.costmodel.build import StructureCostModel
+from repro.costmodel.config import CostModelConfig
+from repro.costmodel.execution import ExecutionCostModel
+from repro.errors import ConfigurationError
+from repro.planner.index_advisor import IndexAdvisor
+from repro.policies.base import CachingScheme
+from repro.policies.bypass_yield import BypassYieldConfig
+from repro.policies.economic import EconomicSchemeConfig
+from repro.policies.factory import build_scheme
+from repro.structures.cached_index import CachedIndex
+from repro.workload.query import QueryTemplate
+from repro.workload.templates import paper_templates
+
+
+@dataclass(frozen=True)
+class CloudSystemConfig:
+    """What to assemble.
+
+    Attributes:
+        database_bytes: total size of the simulated back-end database.
+        cost_model: the cost-model configuration (pricing, factors, scaling).
+        templates: the workload templates the index advisor mines.
+        candidate_index_count: size of the advisor's candidate pool.
+    """
+
+    database_bytes: int = constants.BACKEND_DATABASE_BYTES
+    cost_model: CostModelConfig = field(default_factory=CostModelConfig)
+    templates: Tuple[QueryTemplate, ...] = field(default_factory=paper_templates)
+    candidate_index_count: int = constants.DEFAULT_CANDIDATE_INDEX_COUNT
+
+    def __post_init__(self) -> None:
+        if self.database_bytes <= 0:
+            raise ConfigurationError("database_bytes must be positive")
+        if self.candidate_index_count <= 0:
+            raise ConfigurationError("candidate_index_count must be positive")
+
+
+class CloudSystem:
+    """The assembled simulation substrate: schema, estimators, cost models."""
+
+    def __init__(self, config: CloudSystemConfig = CloudSystemConfig()) -> None:
+        self._config = config
+        self._schema = build_tpch_schema(target_bytes=config.database_bytes)
+        self._estimator = SelectivityEstimator(self._schema)
+        self._execution = ExecutionCostModel(config.cost_model, self._estimator)
+        self._structure_costs = StructureCostModel(self._execution)
+        advisor = IndexAdvisor(
+            self._schema,
+            templates=config.templates,
+            pool_size=config.candidate_index_count,
+        )
+        self._candidate_indexes = advisor.register_with_schema()
+
+    # -- components ----------------------------------------------------------------
+
+    @property
+    def config(self) -> CloudSystemConfig:
+        """The assembly configuration."""
+        return self._config
+
+    @property
+    def schema(self) -> Schema:
+        """The back-end database schema."""
+        return self._schema
+
+    @property
+    def estimator(self) -> SelectivityEstimator:
+        """Selectivity and size estimator over the schema."""
+        return self._estimator
+
+    @property
+    def execution_model(self) -> ExecutionCostModel:
+        """The execution cost model (Eqs. 8-9)."""
+        return self._execution
+
+    @property
+    def structure_costs(self) -> StructureCostModel:
+        """The structure build/maintenance cost model (Eqs. 10-15)."""
+        return self._structure_costs
+
+    @property
+    def candidate_indexes(self) -> Tuple[CachedIndex, ...]:
+        """The advisor's candidate-index pool (the paper's 65 recommendations)."""
+        return self._candidate_indexes
+
+    # -- scheme construction ----------------------------------------------------------
+
+    def scheme(self, name: str,
+               economic_config: Optional[EconomicSchemeConfig] = None,
+               bypass_config: Optional[BypassYieldConfig] = None) -> CachingScheme:
+        """Build one of the paper's schemes on top of this system.
+
+        The econ-cheap and econ-fast schemes receive the candidate-index
+        pool automatically unless the supplied configuration already carries
+        one.
+        """
+        if economic_config is not None and not economic_config.candidate_indexes:
+            economic_config = EconomicSchemeConfig(
+                economy=economic_config.economy,
+                enumerator=economic_config.enumerator,
+                cache=economic_config.cache,
+                candidate_indexes=self._candidate_indexes,
+            )
+        if economic_config is None:
+            economic_config = EconomicSchemeConfig(
+                candidate_indexes=self._candidate_indexes
+            )
+        return build_scheme(
+            name,
+            execution_model=self._execution,
+            structure_costs=self._structure_costs,
+            economic_config=economic_config,
+            bypass_config=bypass_config,
+        )

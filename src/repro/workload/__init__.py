@@ -1,0 +1,35 @@
+"""Query model and workload generation.
+
+The workload of Section VII-A consists of 7 TPC-H query templates that
+simulate the query evolution of a million SDSS-like queries. This package
+provides the analytic query model (which columns a query touches, how
+selective its predicates are, how big its result is), the seven templates,
+and a generator that produces an evolving workload with the data and
+temporal locality properties Section VI calls out as prerequisites for a
+viable cache economy.
+"""
+
+from repro.workload.arrival import (
+    ArrivalProcess,
+    FixedInterarrival,
+    PoissonArrival,
+    TraceArrival,
+)
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.query import Predicate, PredicateKind, Query, QueryTemplate
+from repro.workload.templates import paper_templates, template_by_name
+
+__all__ = [
+    "ArrivalProcess",
+    "FixedInterarrival",
+    "PoissonArrival",
+    "TraceArrival",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "Predicate",
+    "PredicateKind",
+    "Query",
+    "QueryTemplate",
+    "paper_templates",
+    "template_by_name",
+]

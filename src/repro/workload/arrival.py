@@ -1,0 +1,117 @@
+"""Query arrival processes.
+
+Figures 4 and 5 sweep the query inter-arrival time over 1, 10, 30 and 60
+seconds; the paper treats it as a fixed interval. The simulator also supports
+a Poisson process with the same mean (useful for sensitivity studies) and an
+explicit trace of arrival instants.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces the arrival instants (in seconds) of successive queries."""
+
+    @abc.abstractmethod
+    def arrival_times(self, count: int) -> List[float]:
+        """Return ``count`` non-decreasing arrival instants starting at 0."""
+
+    @property
+    @abc.abstractmethod
+    def mean_interarrival(self) -> float:
+        """Average spacing between arrivals, in seconds."""
+
+
+class FixedInterarrival(ArrivalProcess):
+    """Deterministic arrivals every ``interval`` seconds (the paper's setting)."""
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise WorkloadError(f"interval must be positive, got {interval}")
+        self._interval = float(interval)
+
+    @property
+    def interval(self) -> float:
+        """The fixed inter-arrival gap in seconds."""
+        return self._interval
+
+    @property
+    def mean_interarrival(self) -> float:
+        return self._interval
+
+    def arrival_times(self, count: int) -> List[float]:
+        _validate_count(count)
+        return [index * self._interval for index in range(count)]
+
+    def __repr__(self) -> str:
+        return f"FixedInterarrival(interval={self._interval})"
+
+
+class PoissonArrival(ArrivalProcess):
+    """Poisson arrivals with a given mean inter-arrival time."""
+
+    def __init__(self, mean_interval: float, seed: int = 0) -> None:
+        if mean_interval <= 0:
+            raise WorkloadError(
+                f"mean_interval must be positive, got {mean_interval}"
+            )
+        self._mean_interval = float(mean_interval)
+        self._seed = seed
+
+    @property
+    def mean_interarrival(self) -> float:
+        return self._mean_interval
+
+    def arrival_times(self, count: int) -> List[float]:
+        _validate_count(count)
+        rng = np.random.default_rng(self._seed)
+        gaps = rng.exponential(self._mean_interval, size=max(0, count - 1))
+        times = np.concatenate(([0.0], np.cumsum(gaps))) if count else np.array([])
+        return [float(value) for value in times[:count]]
+
+    def __repr__(self) -> str:
+        return (f"PoissonArrival(mean_interval={self._mean_interval}, "
+                f"seed={self._seed})")
+
+
+class TraceArrival(ArrivalProcess):
+    """Arrivals replayed from an explicit list of instants."""
+
+    def __init__(self, times: Sequence[float]) -> None:
+        times = [float(value) for value in times]
+        if not times:
+            raise WorkloadError("trace must contain at least one arrival")
+        if any(value < 0 for value in times):
+            raise WorkloadError("trace arrival times must be non-negative")
+        if any(later < earlier for earlier, later in zip(times, times[1:])):
+            raise WorkloadError("trace arrival times must be non-decreasing")
+        self._times = times
+
+    @property
+    def mean_interarrival(self) -> float:
+        if len(self._times) < 2:
+            return 0.0
+        return (self._times[-1] - self._times[0]) / (len(self._times) - 1)
+
+    def arrival_times(self, count: int) -> List[float]:
+        _validate_count(count)
+        if count > len(self._times):
+            raise WorkloadError(
+                f"trace holds {len(self._times)} arrivals, {count} requested"
+            )
+        return list(self._times[:count])
+
+    def __repr__(self) -> str:
+        return f"TraceArrival(n={len(self._times)})"
+
+
+def _validate_count(count: int) -> None:
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")

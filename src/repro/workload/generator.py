@@ -1,0 +1,236 @@
+"""SDSS-like evolving workload generator.
+
+Section VI lists the workload properties the economy relies on: data access
+locality (queries mostly target a specific part of the data), temporal
+locality (similar queries arrive close in time), result-heaviness, and
+parallelisability. Section VII-A then simulates "the query evolution of a
+million SDSS-like queries" from 7 TPC-H templates.
+
+The generator models this as a *phased* workload: time is divided into
+phases, each phase concentrates its queries on a small set of currently-hot
+templates (temporal locality) and on a narrow band of each template's
+predicate domain (data locality). Phase changes make the hot set drift,
+reproducing the "query evolution" that forces the cache to adapt — build new
+structures, evict stale ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.arrival import ArrivalProcess, FixedInterarrival
+from repro.workload.query import Query, QueryTemplate
+from repro.workload.templates import paper_templates
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the evolving workload.
+
+    Attributes:
+        query_count: number of queries to generate.
+        interarrival_s: mean query inter-arrival time in seconds (ignored
+            when ``arrival_process`` is supplied).
+        seed: RNG seed; two generators with equal specs produce equal
+            workloads.
+        hot_template_count: how many templates are "hot" in each phase
+            (temporal locality: most queries come from the hot set).
+        hot_template_probability: probability that a query is drawn from the
+            hot set rather than uniformly from all templates.
+        phase_length: number of queries after which the hot set and the hot
+            data region drift (the workload "evolution").
+        locality_width: width of the hot band of each range predicate's
+            domain, as a fraction (data locality: smaller = more focused).
+        selectivity_jitter: multiplicative jitter applied to template
+            selectivities within the hot band, so repeated queries are
+            similar but not identical.
+        budget_scale_mean: mean of the per-query budget multiplier.
+        budget_scale_sigma: lognormal sigma of the budget multiplier.
+    """
+
+    query_count: int = 2_000
+    interarrival_s: float = 10.0
+    seed: int = 0
+    hot_template_count: int = 3
+    hot_template_probability: float = 0.85
+    phase_length: int = 400
+    locality_width: float = 0.25
+    selectivity_jitter: float = 0.2
+    budget_scale_mean: float = 1.0
+    budget_scale_sigma: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.query_count <= 0:
+            raise WorkloadError("query_count must be positive")
+        if self.interarrival_s <= 0:
+            raise WorkloadError("interarrival_s must be positive")
+        if self.hot_template_count <= 0:
+            raise WorkloadError("hot_template_count must be positive")
+        if not 0.0 <= self.hot_template_probability <= 1.0:
+            raise WorkloadError("hot_template_probability must be in [0, 1]")
+        if self.phase_length <= 0:
+            raise WorkloadError("phase_length must be positive")
+        if not 0.0 < self.locality_width <= 1.0:
+            raise WorkloadError("locality_width must be in (0, 1]")
+        if not 0.0 <= self.selectivity_jitter < 1.0:
+            raise WorkloadError("selectivity_jitter must be in [0, 1)")
+        if self.budget_scale_mean <= 0:
+            raise WorkloadError("budget_scale_mean must be positive")
+        if self.budget_scale_sigma < 0:
+            raise WorkloadError("budget_scale_sigma must be non-negative")
+
+    def with_interarrival(self, interarrival_s: float) -> "WorkloadSpec":
+        """Copy of the spec with a different mean inter-arrival time."""
+        return WorkloadSpec(
+            query_count=self.query_count,
+            interarrival_s=interarrival_s,
+            seed=self.seed,
+            hot_template_count=self.hot_template_count,
+            hot_template_probability=self.hot_template_probability,
+            phase_length=self.phase_length,
+            locality_width=self.locality_width,
+            selectivity_jitter=self.selectivity_jitter,
+            budget_scale_mean=self.budget_scale_mean,
+            budget_scale_sigma=self.budget_scale_sigma,
+        )
+
+
+class WorkloadGenerator:
+    """Generates an evolving stream of :class:`~repro.workload.query.Query`."""
+
+    def __init__(self, spec: WorkloadSpec = WorkloadSpec(),
+                 templates: Optional[Sequence[QueryTemplate]] = None,
+                 arrival_process: Optional[ArrivalProcess] = None) -> None:
+        self._spec = spec
+        self._templates: Tuple[QueryTemplate, ...] = tuple(
+            templates if templates is not None else paper_templates()
+        )
+        if not self._templates:
+            raise WorkloadError("at least one template is required")
+        if spec.hot_template_count > len(self._templates):
+            raise WorkloadError(
+                f"hot_template_count={spec.hot_template_count} exceeds the "
+                f"number of templates ({len(self._templates)})"
+            )
+        self._arrival_process = arrival_process or FixedInterarrival(
+            spec.interarrival_s
+        )
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload specification."""
+        return self._spec
+
+    @property
+    def templates(self) -> Tuple[QueryTemplate, ...]:
+        """The templates queries are drawn from."""
+        return self._templates
+
+    @property
+    def arrival_process(self) -> ArrivalProcess:
+        """The arrival process providing query arrival instants."""
+        return self._arrival_process
+
+    # -- generation ------------------------------------------------------------
+
+    def generate(self, count: Optional[int] = None) -> List[Query]:
+        """Generate the workload as a list (see :meth:`iter_queries`)."""
+        return list(self.iter_queries(count))
+
+    def iter_queries(self, count: Optional[int] = None) -> Iterator[Query]:
+        """Yield queries in arrival order.
+
+        Args:
+            count: number of queries; defaults to ``spec.query_count``.
+        """
+        spec = self._spec
+        total = spec.query_count if count is None else count
+        if total < 0:
+            raise WorkloadError(f"count must be non-negative, got {total}")
+        rng = np.random.default_rng(spec.seed)
+        arrivals = self._arrival_process.arrival_times(total)
+
+        phase_index = -1
+        hot_indices: List[int] = []
+        hot_centers: Dict[str, float] = {}
+        for query_index in range(total):
+            current_phase = query_index // spec.phase_length
+            if current_phase != phase_index:
+                phase_index = current_phase
+                hot_indices = self._draw_hot_templates(rng)
+                hot_centers = self._draw_hot_centers(rng)
+            template = self._pick_template(rng, hot_indices)
+            selectivities = self._draw_selectivities(rng, template, hot_centers)
+            budget_scale = self._draw_budget_scale(rng)
+            yield template.instantiate(
+                query_id=query_index,
+                arrival_time=arrivals[query_index],
+                selectivities=selectivities,
+                budget_scale=budget_scale,
+            )
+
+    # -- internals -------------------------------------------------------------
+
+    def _draw_hot_templates(self, rng: np.random.Generator) -> List[int]:
+        """Pick which templates are hot for the next phase."""
+        return list(
+            rng.choice(len(self._templates), size=self._spec.hot_template_count,
+                       replace=False)
+        )
+
+    def _draw_hot_centers(self, rng: np.random.Generator) -> Dict[str, float]:
+        """Pick the center of the hot data band for each range predicate."""
+        centers: Dict[str, float] = {}
+        for template in self._templates:
+            for predicate in template.predicates:
+                centers.setdefault(predicate.qualified_column, float(rng.random()))
+        return centers
+
+    def _pick_template(self, rng: np.random.Generator,
+                       hot_indices: List[int]) -> QueryTemplate:
+        """Pick a template, favouring the hot set (temporal locality)."""
+        if rng.random() < self._spec.hot_template_probability:
+            index = int(rng.choice(hot_indices))
+        else:
+            index = int(rng.integers(len(self._templates)))
+        return self._templates[index]
+
+    def _draw_selectivities(self, rng: np.random.Generator,
+                            template: QueryTemplate,
+                            hot_centers: Dict[str, float]) -> Dict[str, float]:
+        """Jitter template selectivities around the phase's hot band.
+
+        Data locality is modelled by keeping the effective selectivity of each
+        predicate close to the template's nominal value, scaled by where the
+        hot band sits: the same band is hit repeatedly within a phase, so the
+        same cached columns/indexes keep being useful.
+        """
+        spec = self._spec
+        selectivities: Dict[str, float] = {}
+        for predicate in template.predicates:
+            if predicate.selectivity is None:
+                continue
+            center = hot_centers.get(predicate.qualified_column, 0.5)
+            # The hot band narrows the nominal selectivity: a band of width w
+            # centred at `center` keeps between (1-jitter) and (1+jitter) of
+            # the template's nominal fraction, scaled by the band width.
+            band_scale = spec.locality_width + (1.0 - spec.locality_width) * center
+            jitter = 1.0 + spec.selectivity_jitter * (2.0 * rng.random() - 1.0)
+            value = predicate.selectivity * band_scale * jitter
+            selectivities[predicate.qualified_column] = float(
+                min(1.0, max(1e-9, value))
+            )
+        return selectivities
+
+    def _draw_budget_scale(self, rng: np.random.Generator) -> float:
+        """Draw the per-query budget multiplier (lognormal around the mean)."""
+        spec = self._spec
+        if spec.budget_scale_sigma == 0:
+            return spec.budget_scale_mean
+        value = rng.lognormal(mean=np.log(spec.budget_scale_mean),
+                              sigma=spec.budget_scale_sigma)
+        return float(max(1e-6, value))

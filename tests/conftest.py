@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+The heavyweight objects (the 2.5 TB schema, the assembled CloudSystem) are
+session-scoped: they are analytic descriptions, cheap to query but not free
+to rebuild hundreds of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.statistics import SelectivityEstimator
+from repro.catalog.tpch import build_tpch_schema
+from repro.costmodel.build import StructureCostModel
+from repro.costmodel.config import CostModelConfig
+from repro.costmodel.execution import ExecutionCostModel
+from repro.system import CloudSystem
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.templates import paper_templates, template_by_name
+
+
+@pytest.fixture(scope="session")
+def schema():
+    """The 2.5 TB TPC-H-like schema."""
+    return build_tpch_schema()
+
+
+@pytest.fixture(scope="session")
+def estimator(schema):
+    """Selectivity estimator over the session schema."""
+    return SelectivityEstimator(schema)
+
+
+@pytest.fixture(scope="session")
+def execution_model(estimator):
+    """Execution cost model with the paper's default configuration."""
+    return ExecutionCostModel(CostModelConfig(), estimator)
+
+
+@pytest.fixture(scope="session")
+def structure_costs(execution_model):
+    """Structure build/maintenance cost model."""
+    return StructureCostModel(execution_model)
+
+
+@pytest.fixture(scope="session")
+def system():
+    """A fully assembled CloudSystem (schema, cost models, index advisor)."""
+    return CloudSystem()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A deterministic 120-query workload at a 5-second inter-arrival time."""
+    spec = WorkloadSpec(query_count=120, interarrival_s=5.0, seed=42)
+    return WorkloadGenerator(spec).generate()
+
+
+@pytest.fixture
+def sample_query():
+    """Factory: a concrete query instance of a given template."""
+
+    def _make(template_name: str = "q6_forecast_revenue", query_id: int = 0,
+              arrival_time: float = 0.0, budget_scale: float = 1.0):
+        template = template_by_name(template_name)
+        return template.instantiate(
+            query_id=query_id, arrival_time=arrival_time,
+            budget_scale=budget_scale,
+        )
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def all_templates():
+    """The paper's seven query templates."""
+    return paper_templates()

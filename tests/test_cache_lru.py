@@ -1,0 +1,61 @@
+"""Unit tests for the LRU tracker."""
+
+import pytest
+
+from repro.cache.lru import LruTracker
+from repro.errors import CacheError
+
+
+class TestLruTracker:
+    def test_touch_inserts_and_reorders(self):
+        lru = LruTracker()
+        lru.touch("a")
+        lru.touch("b")
+        lru.touch("a")
+        assert lru.in_lru_order() == ["b", "a"]
+        assert lru.least_recently_used() == "b"
+
+    def test_contains_and_len(self):
+        lru = LruTracker()
+        lru.touch("a")
+        assert "a" in lru
+        assert "b" not in lru
+        assert len(lru) == 1
+
+    def test_capacity_evicts_oldest(self):
+        lru = LruTracker(capacity=2)
+        assert lru.touch("a") == []
+        assert lru.touch("b") == []
+        evicted = lru.touch("c")
+        assert evicted == ["a"]
+        assert lru.in_lru_order() == ["b", "c"]
+
+    def test_touching_existing_key_never_evicts(self):
+        lru = LruTracker(capacity=2)
+        lru.touch("a")
+        lru.touch("b")
+        assert lru.touch("a") == []
+
+    def test_discard(self):
+        lru = LruTracker()
+        lru.touch("a")
+        assert lru.discard("a") is True
+        assert lru.discard("a") is False
+        assert lru.least_recently_used() is None
+
+    def test_iteration_is_lru_to_mru(self):
+        lru = LruTracker()
+        for key in ["x", "y", "z"]:
+            lru.touch(key)
+        lru.touch("x")
+        assert list(lru) == ["y", "z", "x"]
+
+    def test_empty_tracker(self):
+        lru = LruTracker()
+        assert len(lru) == 0
+        assert lru.least_recently_used() is None
+        assert lru.in_lru_order() == []
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CacheError):
+            LruTracker(capacity=0)

@@ -1,0 +1,72 @@
+"""Unit tests for cache entry bookkeeping."""
+
+import pytest
+
+from repro.cache.storage import CacheEntry, EvictionRecord
+from repro.errors import CacheError
+from repro.structures.cached_column import CachedColumn
+
+
+def make_entry(**overrides):
+    defaults = dict(
+        structure=CachedColumn("lineitem", "l_shipdate"),
+        size_bytes=1_000,
+        build_cost=10.0,
+        maintenance_rate=0.01,
+        built_at=100.0,
+    )
+    defaults.update(overrides)
+    return CacheEntry(**defaults)
+
+
+class TestCacheEntry:
+    def test_defaults_derive_from_build_time(self):
+        entry = make_entry()
+        assert entry.last_used_at == 100.0
+        assert entry.last_billed_at == 100.0
+        assert entry.queries_served == 0
+        assert entry.key == "column:lineitem.l_shipdate"
+
+    def test_accrued_maintenance(self):
+        entry = make_entry()
+        assert entry.accrued_maintenance(100.0) == 0.0
+        assert entry.accrued_maintenance(200.0) == pytest.approx(1.0)
+
+    def test_accrued_maintenance_rejects_time_travel(self):
+        with pytest.raises(CacheError):
+            make_entry().accrued_maintenance(50.0)
+
+    def test_idle_time(self):
+        entry = make_entry()
+        entry.last_used_at = 150.0
+        assert entry.idle_time(250.0) == pytest.approx(100.0)
+        with pytest.raises(CacheError):
+            entry.idle_time(100.0)
+
+    def test_unrecovered_build_cost(self):
+        entry = make_entry()
+        assert entry.unrecovered_build_cost() == 10.0
+        entry.amortized_recovered = 4.0
+        assert entry.unrecovered_build_cost() == 6.0
+        entry.amortized_recovered = 15.0
+        assert entry.unrecovered_build_cost() == 0.0
+
+    @pytest.mark.parametrize("field, value", [
+        ("size_bytes", -1),
+        ("build_cost", -1.0),
+        ("maintenance_rate", -0.1),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(CacheError):
+            make_entry(**{field: value})
+
+
+class TestEvictionRecord:
+    def test_record_fields(self):
+        record = EvictionRecord(
+            key="column:x", evicted_at=12.0, reason="capacity_lru",
+            unpaid_maintenance=0.5, unrecovered_build_cost=3.0, queries_served=7,
+        )
+        assert record.key == "column:x"
+        assert record.reason == "capacity_lru"
+        assert record.queries_served == 7

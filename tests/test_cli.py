@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import clear_grid_cache
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_commands_accept_profiles(self):
+        args = build_parser().parse_args(["figure4", "--profile", "paper"])
+        assert args.command == "figure4"
+        assert args.profile == "paper"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure4", "--profile", "huge"])
+
+    def test_ablation_requires_a_known_sweep(self):
+        args = build_parser().parse_args(["ablation", "regret", "--queries", "50"])
+        assert args.which == "regret"
+        assert args.queries == 50
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "unknown"])
+
+
+class TestCommands:
+    def test_describe_prints_the_schema(self, capsys):
+        assert main(["describe"]) == 0
+        output = capsys.readouterr().out
+        assert "lineitem" in output
+        assert "candidate indexes" in output
+
+    def test_ablation_command_prints_a_table(self, capsys):
+        assert main(["ablation", "bypass-budget", "--queries", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "operating_cost" in output
+
+    def test_figure_command_with_a_tiny_profile(self, capsys, monkeypatch):
+        # Shrink the quick profile so the CLI path stays fast in unit tests.
+        import repro.cli as cli
+        from repro.experiments.config import ExperimentProfile
+
+        tiny = ExperimentProfile(name="cli-tiny", query_count=30,
+                                 interarrival_times_s=(1.0,))
+        monkeypatch.setitem(cli._PROFILES, "quick", tiny)
+        clear_grid_cache()
+        assert main(["figure4", "--profile", "quick"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+        assert main(["figure5", "--profile", "quick"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Sanity tests for the paper-level constants.
+
+These pin the experimental setup of Section VII-A so an accidental edit to
+``repro.constants`` cannot silently change what the reproduction simulates.
+"""
+
+import pytest
+
+from repro import constants
+
+
+class TestPaperParameters:
+    def test_database_size_is_two_and_a_half_terabytes(self):
+        assert constants.BACKEND_DATABASE_BYTES == int(2.5e12)
+
+    def test_cpu_cost_factor_emulates_sdss(self):
+        assert constants.DEFAULT_CPU_COST_FACTOR == pytest.approx(0.014)
+
+    def test_network_is_25_mbps_with_no_latency(self):
+        assert constants.DEFAULT_NETWORK_THROUGHPUT_BPS == pytest.approx(25e6 / 8)
+        assert constants.DEFAULT_NETWORK_LATENCY_S == 0.0
+
+    def test_cpu_is_fully_used_during_transfers_and_never_overloaded(self):
+        assert constants.DEFAULT_NETWORK_CPU_FRACTION == 1.0
+        assert constants.DEFAULT_CPU_LOAD_FACTOR == 1.0
+
+    def test_scaling_reference_point(self):
+        assert constants.SCALING_REFERENCE_NODES == 3
+        assert constants.SCALING_REFERENCE_SPEEDUP == 2.0
+        assert constants.SCALING_REFERENCE_OVERHEAD == 0.25
+
+    def test_candidate_index_pool_matches_db2_recommendations(self):
+        assert constants.DEFAULT_CANDIDATE_INDEX_COUNT == 65
+
+    def test_bypass_cache_is_thirty_percent_of_the_database(self):
+        assert constants.BYPASS_CACHE_FRACTION == 0.30
+
+    def test_figure_sweep_intervals(self):
+        assert constants.PAPER_INTERARRIVAL_TIMES_S == (1.0, 10.0, 30.0, 60.0)
+
+    def test_workload_scale_of_the_paper(self):
+        assert constants.PAPER_WORKLOAD_QUERY_COUNT == 1_000_000
+        assert constants.PAPER_TEMPLATE_COUNT == 7
+
+    def test_regret_fraction_is_a_valid_eq3_parameter(self):
+        assert 0.0 < constants.DEFAULT_REGRET_FRACTION < 1.0
+
+    def test_unit_constants_are_decimal(self):
+        assert constants.KB == 1_000
+        assert constants.MB == 1_000_000
+        assert constants.GB == 1_000_000_000
+        assert constants.TB == 1_000_000_000_000
+        assert constants.SECONDS_PER_MONTH == 30 * 86_400

@@ -1,0 +1,70 @@
+"""Unit tests for the amortisation policies (Eqs. 6-7)."""
+
+import pytest
+
+from repro.costmodel.amortization import DecliningAmortization, UniformAmortization
+from repro.errors import ConfigurationError
+
+
+class TestUniformAmortization:
+    def test_eq7_equal_shares(self):
+        policy = UniformAmortization(100)
+        assert policy.charge(50.0, 0) == pytest.approx(0.5)
+        assert policy.charge(50.0, 99) == pytest.approx(0.5)
+
+    def test_charges_stop_after_the_horizon(self):
+        policy = UniformAmortization(10)
+        assert policy.charge(50.0, 10) == 0.0
+        assert policy.charge(50.0, 1_000) == 0.0
+
+    def test_total_recovered_equals_build_cost(self):
+        policy = UniformAmortization(25)
+        total = sum(policy.charge(80.0, served) for served in range(25))
+        assert total == pytest.approx(80.0)
+
+    def test_zero_build_cost_charges_nothing(self):
+        assert UniformAmortization(10).charge(0.0, 0) == 0.0
+
+    def test_describe_mentions_horizon(self):
+        assert "17" in UniformAmortization(17).describe()
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            UniformAmortization(0)
+
+    def test_rejects_negative_inputs(self):
+        policy = UniformAmortization(10)
+        with pytest.raises(ConfigurationError):
+            policy.charge(-1.0, 0)
+        with pytest.raises(ConfigurationError):
+            policy.charge(1.0, -1)
+
+
+class TestDecliningAmortization:
+    def test_charges_decline_geometrically(self):
+        policy = DecliningAmortization(0.1)
+        charges = [policy.charge(100.0, served) for served in range(5)]
+        assert charges[0] == pytest.approx(10.0)
+        assert all(later < earlier for earlier, later in zip(charges, charges[1:]))
+        ratios = [later / earlier for earlier, later in zip(charges, charges[1:])]
+        assert all(ratio == pytest.approx(0.9) for ratio in ratios)
+
+    def test_total_recovered_approaches_build_cost(self):
+        policy = DecliningAmortization(0.05)
+        total = sum(policy.charge(40.0, served) for served in range(500))
+        assert total == pytest.approx(40.0, rel=1e-6)
+
+    def test_keeps_charging_after_the_uniform_horizon(self):
+        declining = DecliningAmortization(0.05)
+        uniform = UniformAmortization(int(1 / 0.05))
+        assert uniform.charge(100.0, 30) == 0.0
+        assert declining.charge(100.0, 30) > 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DecliningAmortization(0.0)
+        with pytest.raises(ConfigurationError):
+            DecliningAmortization(1.0)
+
+    def test_describe_mentions_fraction(self):
+        assert "5%" in DecliningAmortization(0.05).describe()

@@ -1,0 +1,120 @@
+"""Unit tests for structure build and maintenance costs (Eqs. 10-15)."""
+
+import pytest
+
+from repro.costmodel.config import CostModelConfig
+from repro.errors import ConfigurationError
+from repro.structures.cached_column import CachedColumn
+from repro.structures.cached_index import CachedIndex
+from repro.structures.cpu_node import CpuNode
+
+
+class TestNodeCosts:
+    def test_eq10_build_cost_is_boot_time_times_rate(self, structure_costs):
+        config = structure_costs.config
+        expected = config.node_boot_time_s * config.pricing.cpu_node_per_second
+        assert structure_costs.build_cost(CpuNode(1)) == pytest.approx(expected)
+
+    def test_eq11_maintenance_is_constant_uptime_rate(self, structure_costs):
+        config = structure_costs.config
+        rate = structure_costs.maintenance_rate(CpuNode(1))
+        assert rate == pytest.approx(config.node_uptime_rate_per_second)
+
+    def test_build_time_is_boot_time(self, structure_costs):
+        assert structure_costs.build_time_s(CpuNode(1)) == pytest.approx(
+            structure_costs.config.node_boot_time_s
+        )
+
+
+class TestColumnCosts:
+    def test_eq12_build_cost_is_the_transfer_cost(self, structure_costs, execution_model, schema):
+        column = CachedColumn("lineitem", "l_shipdate")
+        expected = execution_model.transfer(column.size_bytes(schema)).dollars
+        assert structure_costs.build_cost(column) == pytest.approx(expected)
+
+    def test_eq13_maintenance_scales_with_size(self, structure_costs, schema):
+        small = CachedColumn("lineitem", "l_returnflag")   # 1 byte per row
+        large = CachedColumn("lineitem", "l_extendedprice")  # 8 bytes per row
+        assert structure_costs.maintenance_rate(large) == pytest.approx(
+            8 * structure_costs.maintenance_rate(small), rel=0.01
+        )
+
+    def test_build_time_follows_throughput(self, structure_costs, schema):
+        column = CachedColumn("lineitem", "l_shipdate")
+        config = structure_costs.config
+        expected = column.size_bytes(schema) / config.network_throughput_bps
+        assert structure_costs.build_time_s(column) == pytest.approx(expected)
+
+    def test_maintenance_cost_over_duration(self, structure_costs):
+        column = CachedColumn("orders", "o_orderdate")
+        rate = structure_costs.maintenance_rate(column)
+        assert structure_costs.maintenance_cost(column, 3_600.0) == pytest.approx(rate * 3_600.0)
+
+    def test_maintenance_cost_rejects_negative_duration(self, structure_costs):
+        with pytest.raises(ConfigurationError):
+            structure_costs.maintenance_cost(CachedColumn("orders", "o_orderdate"), -1.0)
+
+
+class TestIndexCosts:
+    def test_eq14_includes_missing_column_transfers(self, structure_costs):
+        index = CachedIndex("lineitem", ("l_shipdate", "l_discount"))
+        cold = structure_costs.build_cost(index, cached_columns=set())
+        warm = structure_costs.build_cost(index, cached_columns={
+            "column:lineitem.l_shipdate", "column:lineitem.l_discount",
+        })
+        assert cold > warm
+        transfers = sum(
+            structure_costs.build_cost(column) for column in index.required_columns()
+        )
+        assert cold == pytest.approx(warm + transfers)
+
+    def test_sort_cost_is_positive(self, structure_costs):
+        index = CachedIndex("lineitem", ("l_shipdate",))
+        warm = structure_costs.build_cost(index, cached_columns={
+            "column:lineitem.l_shipdate",
+        })
+        assert warm > 0
+
+    def test_eq15_maintenance_scales_with_index_size(self, structure_costs, schema):
+        narrow = CachedIndex("lineitem", ("l_returnflag",))
+        wide = CachedIndex("lineitem", ("l_returnflag", "l_extendedprice"))
+        assert structure_costs.maintenance_rate(wide) > structure_costs.maintenance_rate(narrow)
+        expected = wide.size_bytes(schema) * structure_costs.config.storage_rate_per_byte_second
+        assert structure_costs.maintenance_rate(wide) == pytest.approx(expected)
+
+    def test_build_time_includes_sort_and_missing_transfers(self, structure_costs):
+        index = CachedIndex("lineitem", ("l_shipdate",))
+        cold = structure_costs.build_time_s(index, cached_columns=set())
+        warm = structure_costs.build_time_s(index, cached_columns={
+            "column:lineitem.l_shipdate",
+        })
+        assert cold > warm > 0
+
+
+class TestUnknownStructures:
+    def test_unknown_structure_type_rejected(self, structure_costs):
+        class FakeStructure:
+            key = "fake"
+
+        with pytest.raises(ConfigurationError):
+            structure_costs.build_cost(FakeStructure())  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            structure_costs.maintenance_rate(FakeStructure())  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            structure_costs.build_time_s(FakeStructure())  # type: ignore[arg-type]
+
+
+class TestDurationScaling:
+    def test_duration_scale_multiplies_maintenance_only(self, estimator):
+        from repro.costmodel.execution import ExecutionCostModel
+        from repro.costmodel.build import StructureCostModel
+
+        base = StructureCostModel(ExecutionCostModel(CostModelConfig(), estimator))
+        scaled = StructureCostModel(
+            ExecutionCostModel(CostModelConfig(disk_duration_scale=20.0), estimator)
+        )
+        column = CachedColumn("lineitem", "l_shipdate")
+        assert scaled.maintenance_rate(column) == pytest.approx(
+            20.0 * base.maintenance_rate(column)
+        )
+        assert scaled.build_cost(column) == pytest.approx(base.build_cost(column))

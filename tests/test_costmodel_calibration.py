@@ -1,0 +1,57 @@
+"""Unit tests for the f_cpu / f_io calibration procedure."""
+
+import pytest
+
+from repro.costmodel.calibration import (
+    CalibrationObservation,
+    calibrate_factors,
+)
+from repro.errors import ConfigurationError
+
+
+def observations_from_factors(cpu_factor, io_factor, noise=0.0):
+    """Synthesise probe-query observations from known ground-truth factors."""
+    observations = []
+    for index, cost_units in enumerate([10, 50, 120, 400, 900]):
+        io_units = cost_units * 3.0
+        wiggle = 1.0 + noise * ((-1) ** index)
+        observations.append(CalibrationObservation(
+            reported_cost_units=cost_units,
+            reported_io_units=io_units,
+            measured_cpu_seconds=cpu_factor * cost_units * wiggle,
+            measured_io_operations=io_factor * io_units * wiggle,
+        ))
+    return observations
+
+
+class TestCalibration:
+    def test_recovers_exact_factors_without_noise(self):
+        result = calibrate_factors(observations_from_factors(0.014, 1.0))
+        assert result.cpu_cost_factor == pytest.approx(0.014)
+        assert result.io_cost_factor == pytest.approx(1.0)
+        assert result.cpu_r_squared == pytest.approx(1.0)
+        assert result.io_r_squared == pytest.approx(1.0)
+
+    def test_recovers_approximate_factors_with_noise(self):
+        result = calibrate_factors(observations_from_factors(0.02, 2.0, noise=0.05))
+        assert result.cpu_cost_factor == pytest.approx(0.02, rel=0.1)
+        assert result.io_cost_factor == pytest.approx(2.0, rel=0.1)
+        assert result.cpu_r_squared > 0.9
+
+    def test_describe_mentions_both_factors(self):
+        result = calibrate_factors(observations_from_factors(0.014, 1.0))
+        text = result.describe()
+        assert "f_cpu" in text and "f_io" in text
+
+    def test_requires_at_least_two_observations(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_factors(observations_from_factors(0.014, 1.0)[:1])
+
+    def test_rejects_all_zero_inputs(self):
+        zero = CalibrationObservation(0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            calibrate_factors([zero, zero])
+
+    def test_rejects_negative_observations(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationObservation(-1.0, 0.0, 0.0, 0.0)

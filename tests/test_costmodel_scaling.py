@@ -1,0 +1,48 @@
+"""Unit tests for the multi-node scaling law."""
+
+import pytest
+
+from repro.costmodel.scaling import (
+    cpu_overhead_factor,
+    parallel_efficiency,
+    speedup_factor,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpeedup:
+    def test_single_node_is_neutral(self):
+        assert speedup_factor(1, 1.0) == 1.0
+        assert cpu_overhead_factor(1) == 1.0
+
+    def test_paper_reference_point(self):
+        """Section VII-A: 2x speed-up at 25% extra CPU on 3 nodes."""
+        assert speedup_factor(3, 1.0) == pytest.approx(2.0)
+        assert cpu_overhead_factor(3) == pytest.approx(1.25)
+
+    def test_two_nodes_interpolate(self):
+        assert 1.0 < speedup_factor(2, 1.0) < 2.0
+        assert 1.0 < cpu_overhead_factor(2) < 1.25
+
+    def test_amdahl_limits_serial_queries(self):
+        assert speedup_factor(3, 0.0) == pytest.approx(1.0)
+        assert speedup_factor(3, 0.5) < speedup_factor(3, 1.0)
+
+    def test_speedup_monotonic_in_nodes(self):
+        speedups = [speedup_factor(k, 0.9) for k in range(1, 6)]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_overhead_monotonic_in_nodes(self):
+        overheads = [cpu_overhead_factor(k) for k in range(1, 6)]
+        assert all(b > a for a, b in zip(overheads, overheads[1:]))
+
+    def test_parallel_efficiency_reference(self):
+        assert parallel_efficiency(3) == pytest.approx(2.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup_factor(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            speedup_factor(2, 1.5)
+        with pytest.raises(ConfigurationError):
+            cpu_overhead_factor(-1)

@@ -1,0 +1,75 @@
+"""Unit tests for the cloud account."""
+
+import pytest
+
+from repro.economy.account import CloudAccount
+from repro.errors import EconomyError, InsufficientCreditError
+
+
+class TestCloudAccount:
+    def test_starts_with_seed_capital(self):
+        account = CloudAccount(initial_credit=50.0)
+        assert account.credit == 50.0
+        assert account.transactions[0].category == CloudAccount.CATEGORY_SEED
+
+    def test_starts_empty_without_seed(self):
+        account = CloudAccount()
+        assert account.credit == 0.0
+        assert account.transactions == ()
+
+    def test_deposit_and_withdraw(self):
+        account = CloudAccount()
+        account.deposit(10.0, 1.0, CloudAccount.CATEGORY_QUERY_PAYMENT)
+        account.withdraw(4.0, 2.0, CloudAccount.CATEGORY_BUILD)
+        assert account.credit == pytest.approx(6.0)
+        assert account.total_deposited() == pytest.approx(10.0)
+        assert account.total_withdrawn() == pytest.approx(4.0)
+
+    def test_overdraft_rejected_by_default(self):
+        account = CloudAccount(initial_credit=1.0)
+        with pytest.raises(InsufficientCreditError):
+            account.withdraw(2.0, 0.0, CloudAccount.CATEGORY_BUILD)
+
+    def test_overdraft_allowed_when_requested(self):
+        account = CloudAccount(initial_credit=1.0, allow_negative=True)
+        account.withdraw(2.0, 0.0, CloudAccount.CATEGORY_BUILD)
+        assert account.credit == pytest.approx(-1.0)
+
+    def test_can_afford(self):
+        account = CloudAccount(initial_credit=5.0)
+        assert account.can_afford(5.0)
+        assert not account.can_afford(5.1)
+        assert CloudAccount(allow_negative=True).can_afford(1e9)
+
+    def test_negative_amounts_rejected(self):
+        account = CloudAccount()
+        with pytest.raises(EconomyError):
+            account.deposit(-1.0, 0.0, "x")
+        with pytest.raises(EconomyError):
+            account.withdraw(-1.0, 0.0, "x")
+        with pytest.raises(EconomyError):
+            CloudAccount(initial_credit=-1.0)
+
+    def test_totals_by_category(self):
+        account = CloudAccount()
+        account.deposit(10.0, 0.0, CloudAccount.CATEGORY_QUERY_PAYMENT)
+        account.deposit(5.0, 1.0, CloudAccount.CATEGORY_QUERY_PAYMENT)
+        account.withdraw(3.0, 2.0, CloudAccount.CATEGORY_BUILD)
+        totals = account.totals_by_category()
+        assert totals[CloudAccount.CATEGORY_QUERY_PAYMENT] == pytest.approx(15.0)
+        assert totals[CloudAccount.CATEGORY_BUILD] == pytest.approx(-3.0)
+
+    def test_ledger_preserves_order_and_notes(self):
+        account = CloudAccount()
+        account.deposit(1.0, 0.0, "a", note="first")
+        account.deposit(2.0, 1.0, "b", note="second")
+        assert [t.note for t in account.transactions] == ["first", "second"]
+        assert [t.time_s for t in account.transactions] == [0.0, 1.0]
+
+    def test_credit_never_lost_by_bookkeeping(self):
+        account = CloudAccount(initial_credit=100.0)
+        account.deposit(20.0, 0.0, "in")
+        account.withdraw(30.0, 1.0, "out")
+        deposits = account.total_deposited()
+        withdrawals = account.total_withdrawn()
+        assert account.credit == pytest.approx(deposits - withdrawals)

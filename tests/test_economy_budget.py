@@ -1,0 +1,97 @@
+"""Unit tests for the budget functions (Figure 1)."""
+
+import pytest
+
+from repro.economy.budget import (
+    ConcaveBudget,
+    ConvexBudget,
+    StepBudget,
+    validate_descending,
+)
+from repro.errors import BudgetFunctionError
+
+
+class TestStepBudget:
+    def test_flat_until_the_deadline(self):
+        budget = StepBudget(amount=5.0, max_time_s=60.0)
+        assert budget.value(0.1) == 5.0
+        assert budget.value(60.0) == 5.0
+
+    def test_zero_beyond_the_deadline(self):
+        budget = StepBudget(amount=5.0, max_time_s=60.0)
+        assert budget.value(60.1) == 0.0
+
+    def test_accepts_prices_within_budget(self):
+        budget = StepBudget(amount=5.0, max_time_s=60.0)
+        assert budget.accepts(10.0, 4.99)
+        assert budget.accepts(10.0, 5.0)
+        assert not budget.accepts(10.0, 5.01)
+        assert not budget.accepts(61.0, 1.0)
+
+    def test_scaled(self):
+        budget = StepBudget(amount=5.0, max_time_s=60.0).scaled(2.0)
+        assert budget.value(1.0) == 10.0
+        assert budget.max_time_s == 60.0
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(BudgetFunctionError):
+            StepBudget(amount=-1.0, max_time_s=60.0)
+        with pytest.raises(BudgetFunctionError):
+            StepBudget(amount=1.0, max_time_s=0.0)
+        with pytest.raises(BudgetFunctionError):
+            StepBudget(amount=1.0, max_time_s=60.0).scaled(-1.0)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(BudgetFunctionError):
+            StepBudget(amount=1.0, max_time_s=60.0).value(0.0)
+
+
+class TestConvexBudget:
+    def test_starts_near_the_full_amount_and_decays(self):
+        budget = ConvexBudget(amount=10.0, max_time_s=100.0)
+        assert budget.value(1.0) == pytest.approx(10.0, rel=0.05)
+        assert budget.value(100.0) == pytest.approx(0.0)
+
+    def test_lies_below_the_straight_line(self):
+        """Figure 1(b): the convex curve drops quickly at first."""
+        budget = ConvexBudget(amount=10.0, max_time_s=100.0)
+        halfway_linear = 10.0 * 0.5
+        assert budget.value(50.0) < halfway_linear
+
+    def test_scaled(self):
+        budget = ConvexBudget(amount=10.0, max_time_s=100.0).scaled(0.5)
+        assert budget.value(50.0) == pytest.approx(0.5 * 10.0 * 0.25)
+
+
+class TestConcaveBudget:
+    def test_stays_high_then_drops(self):
+        budget = ConcaveBudget(amount=10.0, max_time_s=100.0)
+        assert budget.value(10.0) == pytest.approx(9.9)
+        assert budget.value(100.0) == pytest.approx(0.0)
+
+    def test_lies_above_the_straight_line(self):
+        """Figure 1(c): the concave curve stays above the chord."""
+        budget = ConcaveBudget(amount=10.0, max_time_s=100.0)
+        halfway_linear = 10.0 * 0.5
+        assert budget.value(50.0) > halfway_linear
+
+
+class TestDescendingContract:
+    @pytest.mark.parametrize("budget", [
+        StepBudget(5.0, 60.0),
+        ConvexBudget(5.0, 60.0),
+        ConcaveBudget(5.0, 60.0),
+    ])
+    def test_standard_shapes_are_descending(self, budget):
+        validate_descending(budget)
+
+    def test_increasing_function_is_rejected(self):
+        class IncreasingBudget(StepBudget):
+            def _value_within_range(self, response_time_s):
+                return response_time_s  # grows with time: invalid
+
+        with pytest.raises(BudgetFunctionError):
+            validate_descending(IncreasingBudget(5.0, 60.0))
+
+    def test_explicit_sample_times(self):
+        validate_descending(StepBudget(5.0, 60.0), sample_times=[1.0, 30.0, 59.0])

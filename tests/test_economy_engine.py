@@ -1,0 +1,147 @@
+"""Tests for the economy engine (the paper's core loop, end to end)."""
+
+import pytest
+
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.economy.engine import EconomyConfig, EconomyEngine
+from repro.economy.negotiation import NegotiationCase, PlanSelection
+from repro.economy.user_model import UserModel
+from repro.errors import ConfigurationError
+from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
+from repro.planner.plan import PlanKind
+from repro.structures.base import StructureKind
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+def make_engine(execution_model, structure_costs, system, *,
+                allow_indexes=True, max_extra_nodes=1, **economy_overrides):
+    defaults = dict(
+        regret_fraction=0.01,
+        amortization_horizon=5_000,
+        initial_credit=200.0,
+        plan_selection=PlanSelection.CHEAPEST,
+        user_model=UserModel(budget_factor=1.3),
+    )
+    defaults.update(economy_overrides)
+    enumerator = PlanEnumerator(
+        execution_model,
+        candidate_indexes=system.candidate_indexes if allow_indexes else (),
+        config=EnumeratorConfig(allow_index_plans=allow_indexes,
+                                max_extra_nodes=max_extra_nodes),
+    )
+    return EconomyEngine(
+        enumerator=enumerator,
+        structure_costs=structure_costs,
+        cache=CacheManager(CacheConfig()),
+        config=EconomyConfig(**defaults),
+    )
+
+
+@pytest.fixture
+def engine(execution_model, structure_costs, system):
+    return make_engine(execution_model, structure_costs, system)
+
+
+@pytest.fixture
+def workload():
+    spec = WorkloadSpec(query_count=150, interarrival_s=1.0, seed=1,
+                        budget_scale_sigma=0.05)
+    return WorkloadGenerator(spec).generate()
+
+
+class TestSingleQuery:
+    def test_cold_cache_serves_from_the_backend(self, engine, sample_query):
+        outcome = engine.process_query(sample_query())
+        assert outcome.plan_kind is PlanKind.BACKEND
+        assert not outcome.served_in_cache
+        assert outcome.charge >= outcome.execution_cost
+        assert outcome.credit_after >= 200.0  # the cloud never loses money on case B
+
+    def test_generous_budget_yields_profit(self, engine, sample_query):
+        outcome = engine.process_query(sample_query(budget_scale=2.0))
+        assert outcome.case in (NegotiationCase.B, NegotiationCase.C)
+        assert outcome.profit > 0
+        assert engine.account.credit > 200.0
+
+    def test_stingy_budget_falls_into_case_a(self, engine, sample_query):
+        outcome = engine.process_query(sample_query(budget_scale=0.01))
+        assert outcome.case is NegotiationCase.A
+        assert outcome.profit == 0.0
+
+    def test_regret_accumulates_for_missing_structures(self, engine, sample_query):
+        engine.process_query(sample_query(budget_scale=1.5))
+        assert engine.regret_tracker.total() > 0
+
+
+class TestWorkloadProcessing:
+    def test_engine_invests_and_then_serves_from_cache(self, engine, workload):
+        outcomes = engine.process_workload(workload)
+        builds = [build for outcome in outcomes for build in outcome.builds]
+        assert builds, "the economy should have invested in structures"
+        assert any(outcome.served_in_cache for outcome in outcomes), \
+            "after investing, some queries must run in the cache"
+
+    def test_built_structures_show_up_in_the_cache(self, engine, workload):
+        engine.process_workload(workload)
+        built_kinds = {entry.structure.kind for entry in engine.cache.entries}
+        assert StructureKind.COLUMN in built_kinds
+
+    def test_ledger_matches_outcomes(self, engine, workload):
+        outcomes = engine.process_workload(workload)
+        totals = engine.account.totals_by_category()
+        total_charges = sum(outcome.charge for outcome in outcomes)
+        assert totals["query_payment"] == pytest.approx(total_charges)
+        assert engine.account.credit >= 0.0
+
+    def test_response_time_improves_after_warmup(self, execution_model, structure_costs,
+                                                 system):
+        engine = make_engine(execution_model, structure_costs, system)
+        spec = WorkloadSpec(query_count=300, interarrival_s=1.0, seed=5,
+                            hot_template_count=2, phase_length=1_000)
+        workload = WorkloadGenerator(spec).generate()
+        outcomes = engine.process_workload(workload)
+        first_quarter = [o.response_time_s for o in outcomes[:75]]
+        last_quarter = [o.response_time_s for o in outcomes[-75:]]
+        assert sum(last_quarter) / 75 <= sum(first_quarter) / 75
+
+    def test_outcomes_are_recorded_in_order(self, engine, workload):
+        engine.process_workload(workload[:10])
+        assert [o.query.query_id for o in engine.outcomes] == list(range(10))
+
+
+class TestSchemeRestrictions:
+    def test_column_only_engine_builds_no_indexes(self, execution_model, structure_costs,
+                                                  system, workload):
+        engine = make_engine(execution_model, structure_costs, system,
+                             allow_indexes=False, max_extra_nodes=0)
+        engine.process_workload(workload)
+        kinds = {entry.structure.kind for entry in engine.cache.entries}
+        assert StructureKind.INDEX not in kinds
+        assert StructureKind.CPU_NODE not in kinds
+
+    def test_investment_can_be_disabled(self, execution_model, structure_costs, system,
+                                        workload):
+        engine = make_engine(execution_model, structure_costs, system,
+                             max_investments_per_query=0)
+        outcomes = engine.process_workload(workload)
+        assert all(not outcome.builds for outcome in outcomes)
+        assert not engine.cache.entries
+
+    def test_conservative_provider_never_overdraws(self, execution_model, structure_costs,
+                                                   system, workload):
+        engine = make_engine(execution_model, structure_costs, system,
+                             initial_credit=5.0)
+        engine.process_workload(workload)
+        assert engine.account.credit >= 0.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"amortization_horizon": 0},
+        {"initial_credit": -1.0},
+        {"max_investments_per_query": -1},
+        {"regret_pool_capacity": 0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EconomyConfig(**kwargs)

@@ -1,0 +1,104 @@
+"""Unit tests for the investment rule (Eq. 3)."""
+
+import pytest
+
+from repro.economy.account import CloudAccount
+from repro.economy.investment import InvestmentPolicy
+from repro.economy.regret import RegretTracker
+from repro.errors import ConfigurationError
+from repro.structures.cached_column import CachedColumn
+
+
+@pytest.fixture
+def column():
+    return CachedColumn("lineitem", "l_shipdate")
+
+
+class TestInvestScore:
+    def test_eq3_rounding(self):
+        policy = InvestmentPolicy(regret_fraction=0.1)
+        # round(regret / (a * CR)): CR=100, a=0.1 -> threshold scale 10
+        assert policy.invest_score(4.9, 100.0) == 0
+        assert policy.invest_score(5.0, 100.0) == 0  # round-half-to-even at 0.5
+        assert policy.invest_score(6.0, 100.0) == 1
+        assert policy.invest_score(25.0, 100.0) == 2
+
+    def test_zero_credit_means_no_score(self):
+        policy = InvestmentPolicy(regret_fraction=0.5)
+        assert policy.invest_score(100.0, 0.0) == 0
+
+    def test_negative_regret_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InvestmentPolicy().invest_score(-1.0, 10.0)
+
+    def test_fraction_must_be_in_open_interval(self):
+        with pytest.raises(ConfigurationError):
+            InvestmentPolicy(regret_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            InvestmentPolicy(regret_fraction=1.0)
+
+
+class TestEvaluate:
+    def test_should_build_when_regret_and_credit_allow(self, column):
+        policy = InvestmentPolicy(regret_fraction=0.1)
+        account = CloudAccount(initial_credit=100.0)
+        decision = policy.evaluate(column, regret=20.0, build_cost=50.0, account=account)
+        assert decision.should_build
+        assert decision.invest_score >= 1
+        assert decision.affordable
+
+    def test_unaffordable_build_is_blocked(self, column):
+        policy = InvestmentPolicy(regret_fraction=0.1)
+        account = CloudAccount(initial_credit=10.0)
+        decision = policy.evaluate(column, regret=20.0, build_cost=50.0, account=account)
+        assert not decision.should_build
+        assert not decision.affordable
+
+    def test_affordability_check_can_be_disabled(self, column):
+        policy = InvestmentPolicy(regret_fraction=0.1, require_affordable=False)
+        account = CloudAccount(initial_credit=10.0)
+        decision = policy.evaluate(column, regret=20.0, build_cost=50.0, account=account)
+        assert decision.should_build
+
+    def test_low_regret_is_not_built(self, column):
+        policy = InvestmentPolicy(regret_fraction=0.5)
+        account = CloudAccount(initial_credit=100.0)
+        decision = policy.evaluate(column, regret=1.0, build_cost=1.0, account=account)
+        assert not decision.should_build
+
+
+class TestCandidates:
+    def test_candidates_sorted_by_regret_and_filtered(self, column):
+        policy = InvestmentPolicy(regret_fraction=0.1)
+        account = CloudAccount(initial_credit=100.0)
+        tracker = RegretTracker()
+        other = CachedColumn("lineitem", "l_discount")
+        built = CachedColumn("lineitem", "l_quantity")
+        tracker.add(column, 30.0)
+        tracker.add(other, 60.0)
+        tracker.add(built, 90.0)
+
+        decisions = policy.candidates(
+            tracker, account,
+            build_cost_of=lambda structure: 5.0,
+            built_keys={built.key},
+        )
+        keys = [decision.structure.key for decision in decisions]
+        assert keys == [other.key, column.key]
+        assert all(decision.should_build for decision in decisions)
+
+    def test_candidates_respect_affordability(self, column):
+        policy = InvestmentPolicy(regret_fraction=0.1)
+        account = CloudAccount(initial_credit=1.0)
+        tracker = RegretTracker()
+        tracker.add(column, 50.0)
+        decisions = policy.candidates(
+            tracker, account, build_cost_of=lambda structure: 10.0,
+        )
+        assert decisions == []
+
+    def test_empty_tracker_gives_no_candidates(self):
+        policy = InvestmentPolicy()
+        account = CloudAccount(initial_credit=100.0)
+        assert policy.candidates(RegretTracker(), account,
+                                 build_cost_of=lambda s: 1.0) == []

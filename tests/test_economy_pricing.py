@@ -1,0 +1,108 @@
+"""Unit tests for plan pricing (Eq. 4 against the cache state)."""
+
+import pytest
+
+from repro.cache.manager import CacheManager
+from repro.costmodel.amortization import UniformAmortization
+from repro.economy.pricing import PlanPricer
+from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
+from repro.planner.plan import PlanKind
+
+
+@pytest.fixture
+def enumerator(execution_model, system):
+    return PlanEnumerator(execution_model, candidate_indexes=system.candidate_indexes,
+                          config=EnumeratorConfig(max_extra_nodes=1))
+
+
+@pytest.fixture
+def pricer(structure_costs):
+    return PlanPricer(structure_costs, UniformAmortization(100))
+
+
+class TestPricing:
+    def test_backend_plan_price_is_pure_execution(self, enumerator, pricer, sample_query):
+        cache = CacheManager()
+        priced = pricer.price_plans(enumerator.enumerate(sample_query()), cache, now=0.0)
+        backend = next(p for p in priced if p.plan.kind is PlanKind.BACKEND)
+        assert backend.is_existing
+        assert backend.amortized_dollars == 0.0
+        assert backend.price == pytest.approx(backend.execution_dollars)
+
+    def test_possible_plans_amortize_estimated_build_costs(self, enumerator, pricer,
+                                                           structure_costs, sample_query):
+        cache = CacheManager()
+        priced = pricer.price_plans(enumerator.enumerate(sample_query()), cache, now=0.0)
+        column_plan = next(p for p in priced
+                           if p.plan.kind is PlanKind.CACHE_COLUMN_SCAN
+                           and p.plan.node_count == 1)
+        assert not column_plan.is_existing
+        expected = sum(
+            structure_costs.build_cost(structure) / 100
+            for structure in column_plan.plan.structures
+        )
+        assert column_plan.amortized_dollars == pytest.approx(expected)
+        assert set(column_plan.amortized_by_structure) == set(
+            s.key for s in column_plan.plan.structures
+        )
+
+    def test_built_structures_amortize_their_actual_build_cost(self, enumerator, pricer,
+                                                               structure_costs, schema,
+                                                               sample_query):
+        query = sample_query("q6_forecast_revenue")
+        cache = CacheManager()
+        plans = enumerator.enumerate(query)
+        column_plan = next(p for p in plans
+                           if p.kind is PlanKind.CACHE_COLUMN_SCAN and p.node_count == 1)
+        for structure in column_plan.structures:
+            cache.admit(structure, size_bytes=structure.size_bytes(schema),
+                        build_cost=10.0,
+                        maintenance_rate=0.0, now=0.0)
+        priced = pricer.price_plan(column_plan, cache, now=0.0)
+        assert priced.is_existing
+        assert priced.amortized_dollars == pytest.approx(
+            10.0 / 100 * len(column_plan.structures)
+        )
+
+    def test_fully_recovered_structures_stop_charging(self, enumerator, pricer, schema,
+                                                      sample_query):
+        query = sample_query("q6_forecast_revenue")
+        cache = CacheManager()
+        plans = enumerator.enumerate(query)
+        column_plan = next(p for p in plans
+                           if p.kind is PlanKind.CACHE_COLUMN_SCAN and p.node_count == 1)
+        for structure in column_plan.structures:
+            cache.admit(structure, size_bytes=structure.size_bytes(schema),
+                        build_cost=10.0, maintenance_rate=0.0, now=0.0)
+            cache.record_amortized_recovery(structure.key, 10.0)
+        priced = pricer.price_plan(column_plan, cache, now=0.0)
+        assert priced.amortized_dollars == 0.0
+        assert priced.price == pytest.approx(priced.execution_dollars)
+
+    def test_maintenance_dues_reported_but_not_priced(self, enumerator, pricer, schema,
+                                                      sample_query):
+        query = sample_query("q6_forecast_revenue")
+        cache = CacheManager()
+        plans = enumerator.enumerate(query)
+        column_plan = next(p for p in plans
+                           if p.kind is PlanKind.CACHE_COLUMN_SCAN and p.node_count == 1)
+        for structure in column_plan.structures:
+            cache.admit(structure, size_bytes=structure.size_bytes(schema),
+                        build_cost=0.0, maintenance_rate=0.001, now=0.0)
+        priced = pricer.price_plan(column_plan, cache, now=100.0)
+        assert priced.maintenance_dollars == pytest.approx(
+            0.1 * len(column_plan.structures)
+        )
+        assert priced.price == pytest.approx(
+            priced.execution_dollars + priced.amortized_dollars
+        )
+
+    def test_cheaper_existing_plans_price_below_possible_ones(self, enumerator, pricer,
+                                                              sample_query):
+        cache = CacheManager()
+        priced = pricer.price_plans(enumerator.enumerate(sample_query()), cache, now=0.0)
+        backend = next(p for p in priced if p.plan.kind is PlanKind.BACKEND)
+        possible = [p for p in priced if not p.is_existing]
+        assert possible, "expected not-yet-buildable plans on an empty cache"
+        assert all(p.response_time_s <= backend.response_time_s for p in possible
+                   if p.plan.node_count >= 1)

@@ -1,0 +1,108 @@
+"""Unit tests for the regret tracker."""
+
+import pytest
+
+from repro.economy.regret import RegretTracker
+from repro.errors import EconomyError
+from repro.structures.cached_column import CachedColumn
+from repro.structures.cached_index import CachedIndex
+
+
+@pytest.fixture
+def column():
+    return CachedColumn("lineitem", "l_shipdate")
+
+
+@pytest.fixture
+def index():
+    return CachedIndex("lineitem", ("l_shipdate",))
+
+
+class TestAccumulation:
+    def test_add_accumulates(self, column):
+        tracker = RegretTracker()
+        tracker.add(column, 1.5)
+        tracker.add(column, 2.5)
+        assert tracker.value(column.key) == pytest.approx(4.0)
+        assert tracker.total() == pytest.approx(4.0)
+        assert column.key in tracker
+        assert len(tracker) == 1
+
+    def test_unknown_key_has_zero_regret(self):
+        assert RegretTracker().value("column:none") == 0.0
+
+    def test_negative_regret_rejected(self, column):
+        with pytest.raises(EconomyError):
+            RegretTracker().add(column, -0.1)
+
+    def test_structure_lookup(self, column):
+        tracker = RegretTracker()
+        tracker.add(column, 1.0)
+        assert tracker.structure(column.key) is column
+        assert tracker.structure("missing") is None
+
+    def test_ranked_orders_by_descending_regret(self, column, index):
+        tracker = RegretTracker()
+        tracker.add(column, 1.0)
+        tracker.add(index, 5.0)
+        assert [key for key, _ in tracker.ranked()] == [index.key, column.key]
+
+
+class TestDistribution:
+    def test_divided_distribution_splits_equally(self, column, index):
+        tracker = RegretTracker()
+        tracker.distribute([column, index], 6.0, divide=True)
+        assert tracker.value(column.key) == pytest.approx(3.0)
+        assert tracker.value(index.key) == pytest.approx(3.0)
+
+    def test_undivided_distribution_charges_full_amount(self, column, index):
+        tracker = RegretTracker()
+        tracker.distribute([column, index], 6.0, divide=False)
+        assert tracker.value(column.key) == pytest.approx(6.0)
+        assert tracker.value(index.key) == pytest.approx(6.0)
+
+    def test_empty_structure_list_is_a_no_op(self):
+        tracker = RegretTracker()
+        tracker.distribute([], 6.0)
+        assert tracker.total() == 0.0
+
+    def test_negative_amount_rejected(self, column):
+        with pytest.raises(EconomyError):
+            RegretTracker().distribute([column], -1.0)
+
+
+class TestLifecycle:
+    def test_reset_returns_accumulated_value(self, column):
+        tracker = RegretTracker()
+        tracker.add(column, 2.0)
+        assert tracker.reset(column.key) == pytest.approx(2.0)
+        assert tracker.value(column.key) == 0.0
+        assert tracker.reset(column.key) == 0.0
+
+    def test_lru_pool_bounds_tracked_structures(self):
+        tracker = RegretTracker(pool_capacity=2)
+        columns = [CachedColumn("lineitem", name)
+                   for name in ("l_shipdate", "l_discount", "l_quantity")]
+        for column in columns:
+            tracker.add(column, 1.0)
+        assert len(tracker) == 2
+        assert columns[0].key not in tracker
+        assert columns[2].key in tracker
+
+    def test_touching_refreshes_recency_in_the_pool(self):
+        tracker = RegretTracker(pool_capacity=2)
+        first = CachedColumn("lineitem", "l_shipdate")
+        second = CachedColumn("lineitem", "l_discount")
+        third = CachedColumn("lineitem", "l_quantity")
+        tracker.add(first, 1.0)
+        tracker.add(second, 1.0)
+        tracker.add(first, 0.0)   # refresh recency without changing order of magnitude
+        tracker.add(third, 1.0)   # evicts `second`, not `first`
+        assert first.key in tracker
+        assert second.key not in tracker
+
+    def test_tracked_keys_in_lru_order(self, column, index):
+        tracker = RegretTracker()
+        tracker.add(column, 1.0)
+        tracker.add(index, 1.0)
+        assert tracker.tracked_keys() == [column.key, index.key]

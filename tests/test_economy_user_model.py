@@ -1,0 +1,67 @@
+"""Unit tests for the simulated user model."""
+
+import pytest
+
+from repro.economy.budget import ConcaveBudget, ConvexBudget, StepBudget
+from repro.economy.user_model import UserModel
+from repro.errors import ConfigurationError
+
+
+class TestUserModel:
+    def test_default_is_a_step_function(self, sample_query):
+        model = UserModel(budget_factor=1.5, max_time_factor=2.0)
+        budget = model.budget_for(sample_query(), backend_price=0.1,
+                                  backend_response_time_s=10.0)
+        assert isinstance(budget, StepBudget)
+        assert budget.value(1.0) == pytest.approx(0.15)
+        assert budget.max_time_s == pytest.approx(20.0)
+
+    def test_budget_scale_multiplies_willingness(self, sample_query):
+        model = UserModel(budget_factor=2.0)
+        query = sample_query(budget_scale=1.5)
+        budget = model.budget_for(query, backend_price=0.1,
+                                  backend_response_time_s=10.0)
+        assert budget.value(1.0) == pytest.approx(0.3)
+
+    def test_minimum_budget_floor(self, sample_query):
+        model = UserModel(budget_factor=1.0, minimum_budget=0.5)
+        budget = model.budget_for(sample_query(), backend_price=0.001,
+                                  backend_response_time_s=10.0)
+        assert budget.value(1.0) == pytest.approx(0.5)
+
+    def test_backend_plan_is_always_acceptable(self, sample_query):
+        """max_time_factor >= 1 guarantees tmax covers the back-end response."""
+        model = UserModel()
+        budget = model.budget_for(sample_query(), backend_price=0.1,
+                                  backend_response_time_s=42.0)
+        assert budget.max_time_s >= 42.0
+
+    @pytest.mark.parametrize("shape, expected", [
+        ("step", StepBudget),
+        ("convex", ConvexBudget),
+        ("concave", ConcaveBudget),
+    ])
+    def test_shapes(self, sample_query, shape, expected):
+        model = UserModel(shape=shape)
+        budget = model.budget_for(sample_query(), backend_price=0.1,
+                                  backend_response_time_s=10.0)
+        assert isinstance(budget, expected)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"budget_factor": 0.0},
+        {"max_time_factor": 0.5},
+        {"shape": "staircase"},
+        {"minimum_budget": -1.0},
+    ])
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            UserModel(**kwargs)
+
+    def test_invalid_reference_inputs_rejected(self, sample_query):
+        model = UserModel()
+        with pytest.raises(ConfigurationError):
+            model.budget_for(sample_query(), backend_price=-1.0,
+                             backend_response_time_s=1.0)
+        with pytest.raises(ConfigurationError):
+            model.budget_for(sample_query(), backend_price=1.0,
+                             backend_response_time_s=0.0)

@@ -1,0 +1,47 @@
+"""Tests for the ablation drivers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    ABLATION_HEADERS,
+    amortization_ablation,
+    bypass_budget_ablation,
+    locality_ablation,
+    regret_fraction_ablation,
+)
+from repro.experiments.config import ExperimentProfile
+
+TINY = ExperimentProfile(name="tiny-ablation", query_count=40,
+                         interarrival_times_s=(1.0,))
+
+
+class TestAblations:
+    def test_regret_fraction_rows(self):
+        rows = regret_fraction_ablation(fractions=(0.01, 0.5), profile=TINY)
+        assert len(rows) == 2
+        assert all(len(row) == len(ABLATION_HEADERS) for row in rows)
+        assert rows[0][0] == 0.01
+
+    def test_amortization_rows(self):
+        rows = amortization_ablation(horizons=(10, 10_000), profile=TINY)
+        assert [row[0] for row in rows] == [10, 10_000]
+        assert all(row[1] > 0 for row in rows)
+
+    def test_locality_rows(self):
+        rows = locality_ablation(hot_probabilities=(0.3, 0.95), profile=TINY)
+        assert [row[0] for row in rows] == [0.3, 0.95]
+
+    def test_bypass_budget_rows(self):
+        rows = bypass_budget_ablation(cache_fractions=(0.1, 0.3), profile=TINY)
+        assert [row[0] for row in rows] == [0.1, 0.3]
+
+    @pytest.mark.parametrize("driver, kwargs", [
+        (regret_fraction_ablation, {"fractions": ()}),
+        (amortization_ablation, {"horizons": ()}),
+        (locality_ablation, {"hot_probabilities": ()}),
+        (bypass_budget_ablation, {"cache_fractions": ()}),
+    ])
+    def test_empty_sweeps_rejected(self, driver, kwargs):
+        with pytest.raises(ExperimentError):
+            driver(profile=TINY, **kwargs)

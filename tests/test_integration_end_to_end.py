@@ -1,0 +1,86 @@
+"""Integration tests: the whole stack working together.
+
+These tests exercise the public API the way a downstream user would: build a
+system, generate a workload, run schemes, compare the outcomes. They assert
+the qualitative relationships the paper's evaluation rests on, at a scale
+small enough for the unit-test budget.
+"""
+
+import pytest
+
+from repro import CloudSystem, CloudSystemConfig, WorkloadGenerator, WorkloadSpec, run_scheme
+from repro.costmodel.config import CostModelConfig
+from repro.policies.factory import SCHEME_NAMES
+
+
+@pytest.fixture(scope="module")
+def integration_system():
+    return CloudSystem(CloudSystemConfig(
+        cost_model=CostModelConfig(disk_duration_scale=10.0),
+    ))
+
+
+@pytest.fixture(scope="module")
+def integration_workload():
+    spec = WorkloadSpec(query_count=500, interarrival_s=1.0, seed=0,
+                        hot_template_count=2, phase_length=1_000)
+    return WorkloadGenerator(spec).generate()
+
+
+@pytest.fixture(scope="module")
+def results(integration_system, integration_workload):
+    return {
+        name: run_scheme(integration_system.scheme(name), integration_workload)
+        for name in SCHEME_NAMES
+    }
+
+
+class TestEndToEnd:
+    def test_all_schemes_complete_the_workload(self, results, integration_workload):
+        for name, result in results.items():
+            assert result.summary.query_count == len(integration_workload), name
+            assert result.summary.operating_cost > 0, name
+            assert result.summary.mean_response_time_s > 0, name
+
+    def test_schemes_are_compared_on_identical_workloads(self, results):
+        ids = {name: [step.query_id for step in result.steps]
+               for name, result in results.items()}
+        reference = ids["bypass"]
+        assert all(sequence == reference for sequence in ids.values())
+
+    def test_economy_uses_the_cache(self, results):
+        assert results["econ-cheap"].summary.cache_hit_rate > 0.3
+        assert results["econ-fast"].summary.cache_hit_rate > 0.3
+
+    def test_indexes_make_econ_cheap_faster_than_econ_col(self, results):
+        assert (results["econ-cheap"].summary.mean_response_time_s
+                < results["econ-col"].summary.mean_response_time_s)
+
+    def test_econ_fast_is_at_least_as_fast_as_econ_cheap(self, results):
+        assert (results["econ-fast"].summary.mean_response_time_s
+                <= results["econ-cheap"].summary.mean_response_time_s * 1.001)
+
+    def test_economy_makes_a_profit(self, results):
+        assert results["econ-cheap"].summary.total_profit > 0
+        assert results["econ-col"].summary.total_profit > 0
+        assert results["bypass"].summary.total_profit == 0
+
+    def test_index_io_savings_show_up_in_the_cost_breakdown(self, results):
+        assert (results["econ-cheap"].summary.execution_io_dollars
+                < results["econ-col"].summary.execution_io_dollars)
+
+    def test_deterministic_replay(self, integration_system, integration_workload):
+        first = run_scheme(integration_system.scheme("econ-cheap"), integration_workload)
+        second = run_scheme(integration_system.scheme("econ-cheap"), integration_workload)
+        assert first.summary.operating_cost == pytest.approx(second.summary.operating_cost)
+        assert first.summary.mean_response_time_s == pytest.approx(
+            second.summary.mean_response_time_s
+        )
+
+    def test_operating_cost_accounts_are_internally_consistent(self, results):
+        for name, result in results.items():
+            summary = result.summary
+            recomputed = (summary.execution_cpu_dollars + summary.execution_io_dollars
+                          + summary.execution_network_dollars + summary.build_dollars
+                          + summary.maintenance_dollars)
+            assert summary.operating_cost == pytest.approx(recomputed), name

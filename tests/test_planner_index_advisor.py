@@ -1,0 +1,59 @@
+"""Unit tests for the candidate-index advisor."""
+
+import pytest
+
+from repro.catalog.tpch import build_tpch_schema
+from repro.errors import PlanningError
+from repro.planner.index_advisor import IndexAdvisor
+from repro.workload.templates import paper_templates
+
+
+class TestCandidates:
+    def test_candidates_are_deterministic(self, schema):
+        first = IndexAdvisor(schema).candidates()
+        second = IndexAdvisor(schema).candidates()
+        assert [index.key for index in first] == [index.key for index in second]
+
+    def test_candidate_pool_is_bounded(self, schema):
+        advisor = IndexAdvisor(schema, pool_size=5)
+        assert len(advisor.candidates()) <= 5
+
+    def test_no_duplicate_candidates(self, schema):
+        keys = [index.key for index in IndexAdvisor(schema).candidates()]
+        assert len(keys) == len(set(keys))
+
+    def test_every_predicated_column_gets_a_single_column_index(self, schema):
+        candidates = IndexAdvisor(schema).candidates()
+        keys = {index.key for index in candidates}
+        for template in paper_templates():
+            for column in template.predicate_columns:
+                assert f"index:{template.table_name}({column})" in keys
+
+    def test_composite_candidates_exist(self, schema):
+        candidates = IndexAdvisor(schema).candidates()
+        assert any(len(index.column_names) > 1 for index in candidates)
+
+    def test_candidates_reference_real_columns(self, schema):
+        for index in IndexAdvisor(schema).candidates():
+            table = schema.table(index.table_name)
+            for column in index.column_names:
+                assert table.has_column(column)
+
+    def test_rejects_bad_pool_size(self, schema):
+        with pytest.raises(PlanningError):
+            IndexAdvisor(schema, pool_size=0)
+
+
+class TestSchemaRegistration:
+    def test_register_with_schema_adds_definitions(self):
+        schema = build_tpch_schema()
+        advisor = IndexAdvisor(schema)
+        candidates = advisor.register_with_schema()
+        assert len(schema.index_names) == len(candidates)
+
+    def test_registration_is_idempotent(self):
+        schema = build_tpch_schema()
+        advisor = IndexAdvisor(schema)
+        advisor.register_with_schema()
+        advisor.register_with_schema()
+        assert len(schema.index_names) == len(advisor.candidates())

@@ -1,0 +1,97 @@
+"""Unit tests for query-plan objects."""
+
+import pytest
+
+from repro.costmodel.execution import ExecutionEstimate
+from repro.errors import PlanningError
+from repro.planner.plan import PlanKind, QueryPlan, required_columns_for
+from repro.structures.cached_column import CachedColumn
+from repro.structures.cached_index import CachedIndex
+from repro.structures.cpu_node import CpuNode
+
+
+def make_estimate(dollars=1.0, response=5.0):
+    return ExecutionEstimate(
+        cost_units=10.0, io_operations=100.0, cpu_seconds=2.0,
+        network_bytes=0.0, response_time_s=response,
+        cpu_dollars=dollars / 2, io_dollars=dollars / 2, network_dollars=0.0,
+    )
+
+
+class TestRequiredColumns:
+    def test_fact_table_columns_are_required(self, sample_query):
+        query = sample_query("q6_forecast_revenue")
+        keys = {column.key for column in required_columns_for(query)}
+        assert "column:lineitem.l_shipdate" in keys
+        assert "column:lineitem.l_extendedprice" in keys
+
+    def test_join_predicate_columns_are_required(self, sample_query):
+        query = sample_query("q3_shipping_priority")
+        keys = {column.key for column in required_columns_for(query)}
+        assert "column:orders.o_orderdate" in keys
+        assert "column:customer.c_mktsegment" in keys
+
+    def test_no_duplicates(self, sample_query):
+        columns = required_columns_for(sample_query("q12_shipping_modes"))
+        keys = [column.key for column in columns]
+        assert len(keys) == len(set(keys))
+
+
+class TestQueryPlan:
+    def test_backend_plan_has_no_structures(self, sample_query):
+        plan = QueryPlan(query=sample_query(), kind=PlanKind.BACKEND,
+                         execution=make_estimate())
+        assert plan.label == "backend"
+        assert not plan.runs_in_cache
+        assert plan.structure_keys == frozenset()
+        assert plan.is_existing([])
+
+    def test_backend_plan_rejects_structures(self, sample_query):
+        with pytest.raises(PlanningError):
+            QueryPlan(query=sample_query(), kind=PlanKind.BACKEND,
+                      execution=make_estimate(),
+                      structures=(CachedColumn("lineitem", "l_shipdate"),))
+
+    def test_index_plan_requires_an_index(self, sample_query):
+        with pytest.raises(PlanningError):
+            QueryPlan(query=sample_query(), kind=PlanKind.CACHE_INDEX,
+                      execution=make_estimate())
+
+    def test_column_plan_rejects_an_index(self, sample_query):
+        with pytest.raises(PlanningError):
+            QueryPlan(query=sample_query(), kind=PlanKind.CACHE_COLUMN_SCAN,
+                      execution=make_estimate(),
+                      index=CachedIndex("lineitem", ("l_shipdate",)))
+
+    def test_new_structures_against_cache_state(self, sample_query):
+        columns = (CachedColumn("lineitem", "l_shipdate"),
+                   CachedColumn("lineitem", "l_discount"))
+        plan = QueryPlan(query=sample_query(), kind=PlanKind.CACHE_COLUMN_SCAN,
+                         execution=make_estimate(), structures=columns)
+        missing = plan.new_structures(["column:lineitem.l_shipdate"])
+        assert [s.key for s in missing] == ["column:lineitem.l_discount"]
+        assert not plan.is_existing(["column:lineitem.l_shipdate"])
+        assert plan.is_existing([c.key for c in columns])
+
+    def test_structure_accessors(self, sample_query):
+        index = CachedIndex("lineitem", ("l_shipdate",))
+        structures = (CachedColumn("lineitem", "l_shipdate"), index, CpuNode(1))
+        plan = QueryPlan(query=sample_query(), kind=PlanKind.CACHE_INDEX,
+                         execution=make_estimate(), structures=structures,
+                         index=index, node_count=2)
+        assert len(plan.cached_columns) == 1
+        assert len(plan.cpu_nodes) == 1
+        assert "2nodes" in plan.label
+        assert index.key in plan.label
+        assert plan.runs_in_cache
+
+    def test_execution_shortcuts(self, sample_query):
+        plan = QueryPlan(query=sample_query(), kind=PlanKind.BACKEND,
+                         execution=make_estimate(dollars=3.0, response=9.0))
+        assert plan.response_time_s == 9.0
+        assert plan.execution_dollars == pytest.approx(3.0)
+
+    def test_rejects_bad_node_count(self, sample_query):
+        with pytest.raises(PlanningError):
+            QueryPlan(query=sample_query(), kind=PlanKind.BACKEND,
+                      execution=make_estimate(), node_count=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the skyline filter (footnote 2)."""
+
+from collections import namedtuple
+
+import pytest
+
+from repro.planner.skyline import skyline_filter
+
+Candidate = namedtuple("Candidate", ["name", "time", "cost"])
+
+
+def filter_candidates(candidates):
+    return skyline_filter(candidates,
+                          time_of=lambda c: c.time,
+                          cost_of=lambda c: c.cost)
+
+
+class TestSkylineFilter:
+    def test_empty_input(self):
+        assert filter_candidates([]) == []
+
+    def test_single_plan_survives(self):
+        only = Candidate("a", 1.0, 1.0)
+        assert filter_candidates([only]) == [only]
+
+    def test_dominated_plans_are_removed(self):
+        fast_cheap = Candidate("best", 1.0, 1.0)
+        slow_expensive = Candidate("worst", 5.0, 5.0)
+        assert filter_candidates([slow_expensive, fast_cheap]) == [fast_cheap]
+
+    def test_tradeoff_plans_all_survive(self):
+        fast_pricey = Candidate("fast", 1.0, 10.0)
+        slow_cheap = Candidate("cheap", 10.0, 1.0)
+        result = filter_candidates([slow_cheap, fast_pricey])
+        assert set(result) == {fast_pricey, slow_cheap}
+
+    def test_result_sorted_by_time(self):
+        plans = [Candidate("c", 9.0, 1.0), Candidate("a", 1.0, 9.0),
+                 Candidate("b", 5.0, 5.0)]
+        result = filter_candidates(plans)
+        assert [c.name for c in result] == ["a", "b", "c"]
+
+    def test_equal_times_keep_only_the_cheapest(self):
+        """Footnote 2: same execution time -> only the cheapest plan stays."""
+        cheap = Candidate("cheap", 2.0, 1.0)
+        pricey = Candidate("pricey", 2.0, 3.0)
+        assert filter_candidates([pricey, cheap]) == [cheap]
+
+    def test_equal_plans_keep_one(self):
+        a = Candidate("a", 2.0, 2.0)
+        b = Candidate("b", 2.0, 2.0)
+        assert len(filter_candidates([a, b])) == 1
+
+    def test_skyline_is_idempotent(self):
+        plans = [Candidate(str(i), float(i), float(10 - i)) for i in range(1, 10)]
+        once = filter_candidates(plans)
+        twice = filter_candidates(once)
+        assert once == twice
+
+    def test_no_skyline_member_dominates_another(self):
+        plans = [Candidate("a", 1.0, 7.0), Candidate("b", 2.0, 9.0),
+                 Candidate("c", 3.0, 3.0), Candidate("d", 8.0, 2.5),
+                 Candidate("e", 9.0, 2.4)]
+        result = filter_candidates(plans)
+        for first in result:
+            for second in result:
+                if first is second:
+                    continue
+                dominates = (first.time <= second.time and first.cost <= second.cost
+                             and (first.time < second.time or first.cost < second.cost))
+                assert not dominates

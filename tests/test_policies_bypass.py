@@ -1,0 +1,93 @@
+"""Unit tests for the bypass-yield (net-only) baseline."""
+
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.policies.bypass_yield import BypassYieldConfig, BypassYieldScheme
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture
+def scheme(execution_model, structure_costs):
+    return BypassYieldScheme(execution_model, structure_costs,
+                             config=BypassYieldConfig(yield_fraction=0.001))
+
+
+@pytest.fixture
+def conservative_scheme(execution_model, structure_costs):
+    return BypassYieldScheme(execution_model, structure_costs,
+                             config=BypassYieldConfig(yield_fraction=0.5))
+
+
+class TestConfig:
+    def test_defaults_match_the_paper(self):
+        config = BypassYieldConfig()
+        assert config.cache_fraction == constants.BYPASS_CACHE_FRACTION
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cache_fraction": 0.0},
+        {"cache_fraction": 1.5},
+        {"yield_fraction": 0.0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BypassYieldConfig(**kwargs)
+
+    def test_cache_capacity_is_a_fraction_of_the_database(self, execution_model,
+                                                          structure_costs, schema):
+        scheme = BypassYieldScheme(execution_model, structure_costs,
+                                   config=BypassYieldConfig(cache_fraction=0.3))
+        assert scheme.cache.config.capacity_bytes == int(0.3 * schema.total_size_bytes)
+        assert scheme.name == "bypass"
+
+
+class TestQueryProcessing:
+    def test_cold_cache_answers_over_the_network(self, scheme, sample_query):
+        step = scheme.process(sample_query("q10_returned_items"))
+        assert not step.served_in_cache
+        assert step.plan_label == "backend"
+        assert step.execution_network_dollars > 0
+
+    def test_result_heavy_queries_trigger_column_loads(self, scheme, sample_query):
+        """With a tiny yield threshold a single heavy query loads its columns."""
+        first = scheme.process(sample_query("q10_returned_items", query_id=0))
+        assert first.builds > 0
+        assert first.build_dollars > 0
+        second = scheme.process(sample_query("q10_returned_items", query_id=1,
+                                             arrival_time=10.0))
+        assert second.served_in_cache
+        assert second.execution_network_dollars == 0.0
+
+    def test_conservative_threshold_delays_loading(self, conservative_scheme, sample_query):
+        step = conservative_scheme.process(sample_query("q10_returned_items"))
+        assert step.builds == 0
+        assert not conservative_scheme.cache.entries
+
+    def test_small_result_queries_never_justify_caching(self, scheme, sample_query):
+        for index in range(5):
+            step = scheme.process(sample_query("q6_forecast_revenue", query_id=index,
+                                               arrival_time=float(index)))
+        assert step.builds == 0
+        assert not step.served_in_cache
+
+    def test_profit_is_always_zero(self, scheme, small_workload):
+        steps = [scheme.process(query) for query in small_workload[:30]]
+        assert all(step.profit == 0.0 for step in steps)
+
+    def test_maintenance_rate_reflects_cached_bytes(self, scheme, sample_query,
+                                                    structure_costs, schema):
+        assert scheme.maintenance_rate() == 0.0
+        scheme.process(sample_query("q10_returned_items"))
+        if scheme.cache.entries:
+            expected = sum(structure_costs.maintenance_rate(entry.structure)
+                           for entry in scheme.cache.entries)
+            assert scheme.maintenance_rate() == pytest.approx(expected)
+
+    def test_only_columns_are_ever_cached(self, scheme, small_workload):
+        from repro.structures.base import StructureKind
+
+        for query in small_workload[:60]:
+            scheme.process(query)
+        kinds = {entry.structure.kind for entry in scheme.cache.entries}
+        assert kinds.issubset({StructureKind.COLUMN})

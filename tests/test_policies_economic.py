@@ -1,0 +1,93 @@
+"""Unit tests for the econ-* schemes and the scheme factory."""
+
+import pytest
+
+from repro.economy.negotiation import PlanSelection
+from repro.errors import ConfigurationError
+from repro.policies.base import SchemeStep
+from repro.policies.economic import (
+    EconomicSchemeConfig,
+    build_econ_cheap,
+    build_econ_col,
+    build_econ_fast,
+)
+from repro.policies.factory import SCHEME_NAMES, build_scheme
+from repro.structures.base import StructureKind
+
+
+class TestFactories:
+    def test_scheme_names_match_the_paper(self):
+        assert SCHEME_NAMES == ("bypass", "econ-col", "econ-cheap", "econ-fast")
+
+    def test_build_scheme_by_name(self, execution_model, structure_costs, system):
+        for name in SCHEME_NAMES:
+            scheme = build_scheme(name, execution_model, structure_costs,
+                                  economic_config=EconomicSchemeConfig(
+                                      candidate_indexes=system.candidate_indexes))
+            assert scheme.name == name
+
+    def test_unknown_scheme_rejected(self, execution_model, structure_costs):
+        with pytest.raises(ConfigurationError):
+            build_scheme("econ-magic", execution_model, structure_costs)
+
+    def test_econ_col_disallows_indexes_and_nodes(self, execution_model, structure_costs):
+        scheme = build_econ_col(execution_model, structure_costs)
+        config = scheme.engine._enumerator.config
+        assert not config.allow_index_plans
+        assert config.max_extra_nodes == 0
+        assert scheme.engine.config.plan_selection is PlanSelection.CHEAPEST
+
+    def test_econ_cheap_allows_indexes_and_picks_cheapest(self, execution_model,
+                                                          structure_costs, system):
+        scheme = build_econ_cheap(execution_model, structure_costs,
+                                  EconomicSchemeConfig(
+                                      candidate_indexes=system.candidate_indexes))
+        assert scheme.engine._enumerator.config.allow_index_plans
+        assert scheme.engine._enumerator.candidate_indexes
+        assert scheme.engine.config.plan_selection is PlanSelection.CHEAPEST
+
+    def test_econ_fast_picks_fastest(self, execution_model, structure_costs, system):
+        scheme = build_econ_fast(execution_model, structure_costs,
+                                 EconomicSchemeConfig(
+                                     candidate_indexes=system.candidate_indexes))
+        assert scheme.engine.config.plan_selection is PlanSelection.FASTEST
+
+    def test_empty_name_rejected(self, execution_model, structure_costs):
+        from repro.policies.economic import EconomicScheme
+
+        with pytest.raises(ConfigurationError):
+            EconomicScheme("", execution_model, structure_costs,
+                           EconomicSchemeConfig())
+
+
+class TestStepTranslation:
+    def test_steps_report_the_outcome_fields(self, system, small_workload):
+        scheme = system.scheme("econ-cheap")
+        step = scheme.process(small_workload[0])
+        assert isinstance(step, SchemeStep)
+        assert step.query_id == small_workload[0].query_id
+        assert step.template_name == small_workload[0].template_name
+        assert step.response_time_s > 0
+        assert step.execution_dollars > 0
+        assert step.resource_dollars >= step.execution_dollars
+
+    def test_charge_covers_execution_cost_in_case_b(self, system, small_workload):
+        scheme = system.scheme("econ-cheap")
+        steps = [scheme.process(query) for query in small_workload[:20]]
+        assert all(step.charge > 0 for step in steps)
+
+    def test_econ_fast_response_not_slower_than_econ_cheap(self, system, small_workload):
+        cheap = system.scheme("econ-cheap")
+        fast = system.scheme("econ-fast")
+        cheap_steps = [cheap.process(query) for query in small_workload]
+        fast_steps = [fast.process(query) for query in small_workload]
+        cheap_mean = sum(s.response_time_s for s in cheap_steps) / len(cheap_steps)
+        fast_mean = sum(s.response_time_s for s in fast_steps) / len(fast_steps)
+        assert fast_mean <= cheap_mean * 1.001
+
+    def test_econ_col_never_builds_indexes(self, system, small_workload):
+        scheme = system.scheme("econ-col")
+        for query in small_workload:
+            scheme.process(query)
+        kinds = {entry.structure.kind for entry in scheme.cache.entries}
+        assert StructureKind.INDEX not in kinds

@@ -1,0 +1,77 @@
+"""Unit tests for the resource price catalog."""
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing.catalog import (
+    ResourcePricing,
+    ec2_2009_pricing,
+    free_network_pricing,
+    network_only_pricing,
+)
+
+
+class TestResourcePricing:
+    def test_defaults_match_2009_ec2_list(self):
+        pricing = ec2_2009_pricing()
+        assert pricing.cpu_node_per_hour == pytest.approx(0.10)
+        assert pricing.disk_gb_month == pytest.approx(0.15)
+        assert pricing.io_per_million == pytest.approx(0.10)
+        assert pricing.network_gb == pytest.approx(0.17)
+
+    def test_cpu_second_derived_from_node_hour(self):
+        pricing = ResourcePricing(cpu_node_per_hour=0.36)
+        assert pricing.cpu_second == pytest.approx(0.0001)
+
+    def test_derived_rates(self):
+        pricing = ec2_2009_pricing()
+        assert pricing.cpu_node_per_second == pytest.approx(0.10 / 3600)
+        assert pricing.io_operation == pytest.approx(1e-7)
+        assert pricing.network_byte == pytest.approx(0.17e-9)
+        assert pricing.disk_byte_second > 0
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(PricingError):
+            ResourcePricing(network_gb=-0.1)
+
+    def test_non_numeric_price_rejected(self):
+        with pytest.raises(PricingError):
+            ResourcePricing(disk_gb_month="free")  # type: ignore[arg-type]
+
+    def test_with_overrides_keeps_other_prices(self):
+        pricing = ec2_2009_pricing().with_overrides(network_gb=0.0)
+        assert pricing.network_gb == 0.0
+        assert pricing.disk_gb_month == pytest.approx(0.15)
+
+    def test_with_overrides_rederives_cpu_second(self):
+        pricing = ec2_2009_pricing().with_overrides(cpu_node_per_hour=0.72)
+        assert pricing.cpu_second == pytest.approx(0.0002)
+
+    def test_scaled_multiplies_every_price(self):
+        pricing = ec2_2009_pricing().scaled(2.0)
+        assert pricing.cpu_node_per_hour == pytest.approx(0.20)
+        assert pricing.network_gb == pytest.approx(0.34)
+        assert pricing.cpu_second == pytest.approx(2 * ec2_2009_pricing().cpu_second)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(PricingError):
+            ec2_2009_pricing().scaled(-1.0)
+
+
+class TestDerivedCatalogs:
+    def test_network_only_zeroes_everything_but_network(self):
+        pricing = network_only_pricing()
+        assert pricing.cpu_node_per_hour == 0.0
+        assert pricing.disk_gb_month == 0.0
+        assert pricing.io_per_million == 0.0
+        assert pricing.cpu_second == 0.0
+        assert pricing.network_gb == pytest.approx(0.17)
+
+    def test_network_only_respects_base_network_price(self):
+        base = ec2_2009_pricing().with_overrides(network_gb=0.34)
+        assert network_only_pricing(base).network_gb == pytest.approx(0.34)
+
+    def test_free_network_keeps_other_prices(self):
+        pricing = free_network_pricing()
+        assert pricing.network_gb == 0.0
+        assert pricing.io_per_million == pytest.approx(0.10)

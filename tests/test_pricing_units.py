@@ -1,0 +1,72 @@
+"""Unit tests for the pricing unit-conversion helpers."""
+
+import pytest
+
+from repro import constants
+from repro.errors import PricingError
+from repro.pricing import units
+
+
+class TestPerHourToPerSecond:
+    def test_converts_ec2_instance_hour(self):
+        assert units.per_hour_to_per_second(0.10) == pytest.approx(0.10 / 3600.0)
+
+    def test_zero_price_is_allowed(self):
+        assert units.per_hour_to_per_second(0.0) == 0.0
+
+    def test_negative_price_is_rejected(self):
+        with pytest.raises(PricingError):
+            units.per_hour_to_per_second(-0.1)
+
+
+class TestStorageConversion:
+    def test_gb_month_to_byte_second(self):
+        rate = units.per_gb_month_to_per_byte_second(0.15)
+        expected = 0.15 / constants.GB / constants.SECONDS_PER_MONTH
+        assert rate == pytest.approx(expected)
+
+    def test_one_gb_for_one_month_costs_the_quoted_price(self):
+        rate = units.per_gb_month_to_per_byte_second(0.15)
+        assert rate * constants.GB * constants.SECONDS_PER_MONTH == pytest.approx(0.15)
+
+    def test_negative_is_rejected(self):
+        with pytest.raises(PricingError):
+            units.per_gb_month_to_per_byte_second(-1.0)
+
+
+class TestTransferConversion:
+    def test_per_gb_to_per_byte(self):
+        assert units.per_gb_to_per_byte(0.17) == pytest.approx(0.17 / constants.GB)
+
+    def test_per_million_ops(self):
+        assert units.per_million_ops_to_per_op(0.10) == pytest.approx(1e-7)
+
+
+class TestThroughputConversion:
+    def test_25_mbps_is_3_125_megabytes_per_second(self):
+        bps = units.megabits_per_second_to_bytes_per_second(25.0)
+        assert bps == pytest.approx(3.125e6)
+
+    def test_zero_throughput_is_rejected(self):
+        with pytest.raises(PricingError):
+            units.megabits_per_second_to_bytes_per_second(0.0)
+
+
+class TestByteHelpers:
+    def test_bytes_to_gigabytes_round_trip(self):
+        assert units.gigabytes_to_bytes(units.bytes_to_gigabytes(2_500_000_000)) == 2_500_000_000
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(PricingError):
+            units.bytes_to_gigabytes(-1)
+
+
+class TestFormatDollars:
+    def test_large_amounts_have_no_decimals(self):
+        assert units.format_dollars(1234.56) == "$1,235"
+
+    def test_mid_amounts_have_two_decimals(self):
+        assert units.format_dollars(12.345) == "$12.35"
+
+    def test_small_amounts_have_four_decimals(self):
+        assert units.format_dollars(0.01234) == "$0.0123"

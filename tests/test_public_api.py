@@ -1,0 +1,54 @@
+"""Tests for the package's public API surface and error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_scheme_names_are_exported(self):
+        assert repro.SCHEME_NAMES == ("bypass", "econ-col", "econ-cheap", "econ-fast")
+
+    def test_quickstart_surface(self, small_workload):
+        """The README quickstart snippet works against the public API only."""
+        system = repro.CloudSystem()
+        result = repro.run_scheme(system.scheme("econ-col"), small_workload[:30])
+        assert result.summary.operating_cost > 0
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        error_classes = [
+            value for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+            and value is not errors.ReproError
+        ]
+        assert error_classes
+        for error_class in error_classes:
+            assert issubclass(error_class, errors.ReproError), error_class
+
+    def test_unknown_table_error_carries_the_name(self):
+        error = errors.UnknownTableError("moon_rocks")
+        assert error.table_name == "moon_rocks"
+        assert "moon_rocks" in str(error)
+
+    def test_unknown_column_error_carries_both_names(self):
+        error = errors.UnknownColumnError("lineitem", "l_mystery")
+        assert error.table_name == "lineitem"
+        assert error.column_name == "l_mystery"
+
+    def test_specific_errors_can_be_caught_as_repro_error(self, schema):
+        with pytest.raises(errors.ReproError):
+            schema.table("not_a_table")
+
+    def test_configuration_errors_are_distinct_from_schema_errors(self):
+        assert not issubclass(errors.SchemaError, errors.ConfigurationError)
+        assert issubclass(errors.PricingError, errors.ConfigurationError)

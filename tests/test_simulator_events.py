@@ -1,0 +1,57 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import Event, EventQueue, QueryArrivalEvent
+from repro.workload.templates import template_by_name
+
+
+def make_arrival(time_s, query_id=0):
+    query = template_by_name("q6_forecast_revenue").instantiate(query_id, time_s)
+    return QueryArrivalEvent(time_s=time_s, query=query)
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Event(time_s=-1.0)
+
+    def test_arrival_requires_a_query(self):
+        with pytest.raises(SimulationError):
+            QueryArrivalEvent(time_s=0.0)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(make_arrival(5.0, 1))
+        queue.push(make_arrival(1.0, 2))
+        queue.push(make_arrival(3.0, 3))
+        times = [queue.pop().time_s for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        first = make_arrival(2.0, 1)
+        second = make_arrival(2.0, 2)
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_push_all_and_len(self):
+        queue = EventQueue()
+        queue.push_all(make_arrival(float(i), i) for i in range(4))
+        assert len(queue) == 4
+        assert not queue.empty
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(make_arrival(9.0))
+        assert queue.peek_time() == 9.0
+
+    def test_pop_from_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()

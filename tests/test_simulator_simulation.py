@@ -1,0 +1,79 @@
+"""Tests for the simulation loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.simulation import CloudSimulation, SimulationConfig, run_scheme
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture
+def workload():
+    return WorkloadGenerator(WorkloadSpec(query_count=60, interarrival_s=2.0,
+                                          seed=13)).generate()
+
+
+class TestSimulationConfig:
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(warmup_queries=-1)
+
+
+class TestCloudSimulation:
+    def test_processes_every_query(self, system, workload):
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        assert result.summary.query_count == len(workload)
+        assert len(result.steps) == len(workload)
+        assert result.scheme_name == "bypass"
+
+    def test_steps_are_in_arrival_order(self, system, workload):
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        ids = [step.query_id for step in result.steps]
+        assert ids == sorted(ids)
+
+    def test_warmup_queries_are_excluded_from_metrics(self, system, workload):
+        warm = CloudSimulation(system.scheme("bypass"),
+                               SimulationConfig(warmup_queries=20)).run(workload)
+        assert warm.summary.query_count == len(workload) - 20
+        assert warm.steps[0].query_id == 20
+
+    def test_warmup_must_leave_measured_queries(self, system, workload):
+        simulation = CloudSimulation(system.scheme("bypass"),
+                                     SimulationConfig(warmup_queries=60))
+        with pytest.raises(SimulationError):
+            simulation.run(workload)
+
+    def test_empty_workload_rejected(self, system):
+        with pytest.raises(SimulationError):
+            CloudSimulation(system.scheme("bypass")).run([])
+
+    def test_maintenance_scales_with_the_interarrival_time(self, system):
+        """The same queries cost more to store at 60 s spacing than at 1 s."""
+        spec = WorkloadSpec(query_count=80, interarrival_s=1.0, seed=3)
+        fast = WorkloadGenerator(spec).generate()
+        slow = WorkloadGenerator(spec.with_interarrival(60.0)).generate()
+        fast_result = run_scheme(system.scheme("econ-cheap"), fast)
+        slow_result = run_scheme(system.scheme("econ-cheap"), slow)
+        assert (slow_result.summary.maintenance_dollars
+                >= fast_result.summary.maintenance_dollars)
+
+    def test_duration_covers_the_workload_span(self, system, workload):
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        span = workload[-1].arrival_time - workload[0].arrival_time
+        assert result.summary.duration_s >= span
+
+    def test_result_helpers(self, system, workload):
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        assert len(result.response_time_series()) == len(workload)
+        assert len(result.hit_series()) == len(workload)
+        per_template = result.per_template_mean_response()
+        assert per_template
+        assert all(value > 0 for value in per_template.values())
+        assert result.operating_cost == result.summary.operating_cost
+        assert result.mean_response_time_s == result.summary.mean_response_time_s
+
+
+class TestRunSchemeHelper:
+    def test_run_scheme_wraps_the_simulation(self, system, workload):
+        result = run_scheme(system.scheme("econ-col"), workload, warmup_queries=10)
+        assert result.summary.query_count == len(workload) - 10

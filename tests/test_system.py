@@ -1,0 +1,64 @@
+"""Tests for the CloudSystem facade."""
+
+import pytest
+
+from repro import constants
+from repro.costmodel.config import CostModelConfig
+from repro.errors import ConfigurationError
+from repro.policies.bypass_yield import BypassYieldScheme
+from repro.policies.economic import EconomicScheme, EconomicSchemeConfig
+from repro.system import CloudSystem, CloudSystemConfig
+
+
+class TestCloudSystemConfig:
+    def test_defaults(self):
+        config = CloudSystemConfig()
+        assert config.database_bytes == constants.BACKEND_DATABASE_BYTES
+        assert config.candidate_index_count == constants.DEFAULT_CANDIDATE_INDEX_COUNT
+        assert len(config.templates) == 7
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CloudSystemConfig(database_bytes=0)
+        with pytest.raises(ConfigurationError):
+            CloudSystemConfig(candidate_index_count=0)
+
+
+class TestCloudSystem:
+    def test_assembles_all_components(self, system):
+        assert system.schema.total_size_bytes == pytest.approx(2.5e12, rel=0.01)
+        assert system.estimator.schema is system.schema
+        assert system.execution_model.estimator is system.estimator
+        assert system.structure_costs.execution_model is system.execution_model
+        assert system.candidate_indexes
+
+    def test_candidate_indexes_registered_in_schema(self, system):
+        assert len(system.schema.index_names) == len(system.candidate_indexes)
+
+    def test_builds_every_scheme(self, system):
+        assert isinstance(system.scheme("bypass"), BypassYieldScheme)
+        for name in ("econ-col", "econ-cheap", "econ-fast"):
+            assert isinstance(system.scheme(name), EconomicScheme)
+
+    def test_econ_cheap_gets_the_candidate_pool_automatically(self, system):
+        scheme = system.scheme("econ-cheap")
+        assert scheme.engine._enumerator.candidate_indexes == system.candidate_indexes
+
+    def test_explicit_config_without_indexes_is_filled_in(self, system):
+        scheme = system.scheme("econ-cheap", economic_config=EconomicSchemeConfig())
+        assert scheme.engine._enumerator.candidate_indexes == system.candidate_indexes
+
+    def test_custom_database_size(self):
+        small = CloudSystem(CloudSystemConfig(database_bytes=50 * constants.GB))
+        assert small.schema.total_size_bytes == pytest.approx(50e9, rel=0.05)
+
+    def test_custom_cost_model_is_used(self):
+        config = CloudSystemConfig(cost_model=CostModelConfig(disk_duration_scale=7.0))
+        system = CloudSystem(config)
+        assert system.execution_model.config.disk_duration_scale == 7.0
+
+    def test_schemes_are_independent_instances(self, system):
+        first = system.scheme("econ-cheap")
+        second = system.scheme("econ-cheap")
+        assert first is not second
+        assert first.cache is not second.cache

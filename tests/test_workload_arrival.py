@@ -1,0 +1,80 @@
+"""Unit tests for the arrival processes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrival import FixedInterarrival, PoissonArrival, TraceArrival
+
+
+class TestFixedInterarrival:
+    def test_times_are_evenly_spaced(self):
+        process = FixedInterarrival(10.0)
+        assert process.arrival_times(4) == [0.0, 10.0, 20.0, 30.0]
+
+    def test_mean_equals_interval(self):
+        assert FixedInterarrival(30.0).mean_interarrival == 30.0
+
+    def test_zero_count(self):
+        assert FixedInterarrival(1.0).arrival_times(0) == []
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(WorkloadError):
+            FixedInterarrival(0.0)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(WorkloadError):
+            FixedInterarrival(1.0).arrival_times(-1)
+
+
+class TestPoissonArrival:
+    def test_times_are_non_decreasing(self):
+        times = PoissonArrival(5.0, seed=3).arrival_times(200)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[0] == 0.0
+
+    def test_mean_gap_close_to_requested(self):
+        times = PoissonArrival(5.0, seed=3).arrival_times(2_000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(5.0, rel=0.1)
+
+    def test_deterministic_for_a_seed(self):
+        a = PoissonArrival(2.0, seed=9).arrival_times(50)
+        b = PoissonArrival(2.0, seed=9).arrival_times(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrival(2.0, seed=1).arrival_times(50)
+        b = PoissonArrival(2.0, seed=2).arrival_times(50)
+        assert a != b
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrival(0.0)
+
+
+class TestTraceArrival:
+    def test_replays_prefix(self):
+        trace = TraceArrival([0.0, 1.0, 5.0, 9.0])
+        assert trace.arrival_times(2) == [0.0, 1.0]
+
+    def test_mean_interarrival(self):
+        assert TraceArrival([0.0, 2.0, 4.0]).mean_interarrival == pytest.approx(2.0)
+
+    def test_single_arrival_mean_is_zero(self):
+        assert TraceArrival([3.0]).mean_interarrival == 0.0
+
+    def test_rejects_requests_beyond_trace(self):
+        with pytest.raises(WorkloadError):
+            TraceArrival([0.0, 1.0]).arrival_times(3)
+
+    def test_rejects_decreasing_trace(self):
+        with pytest.raises(WorkloadError):
+            TraceArrival([0.0, 2.0, 1.0])
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(WorkloadError):
+            TraceArrival([-1.0, 0.0])
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(WorkloadError):
+            TraceArrival([])
