@@ -45,6 +45,42 @@ def test_plan_enumeration_rate(benchmark, bench_system, bench_query):
     assert plans
 
 
+def test_plan_enumeration_rate_cold(benchmark, bench_system):
+    """Enumeration with a fresh enumerator per query: no per-template memo.
+
+    Compare against ``test_plan_enumeration_rate_warm`` to see the speedup
+    of memoizing the structural hot path (required columns + relevant
+    candidate indexes) by template.
+    """
+    workload = WorkloadGenerator(WorkloadSpec(query_count=100, seed=4)).generate()
+
+    def run():
+        total = 0
+        for query in workload:
+            enumerator = PlanEnumerator(
+                bench_system.execution_model,
+                candidate_indexes=bench_system.candidate_indexes,
+            )
+            total += len(enumerator.enumerate(query))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_plan_enumeration_rate_warm(benchmark, bench_system):
+    """Enumeration with one long-lived enumerator: per-template memo hits."""
+    workload = WorkloadGenerator(WorkloadSpec(query_count=100, seed=4)).generate()
+    enumerator = PlanEnumerator(bench_system.execution_model,
+                                candidate_indexes=bench_system.candidate_indexes)
+    for query in workload[:10]:
+        enumerator.enumerate(query)  # populate the per-template memos
+
+    def run():
+        return sum(len(enumerator.enumerate(query)) for query in workload)
+
+    assert benchmark(run) > 0
+
+
 def test_plan_pricing_rate(benchmark, bench_system, bench_query):
     enumerator = PlanEnumerator(bench_system.execution_model,
                                 candidate_indexes=bench_system.candidate_indexes)

@@ -2,19 +2,27 @@
 
 Exposes the experiment drivers without writing any Python::
 
-    python -m repro.cli figure4 --profile quick
+    python -m repro.cli figure4 --profile quick --jobs 4
     python -m repro.cli figure5 --profile paper
     python -m repro.cli headline
     python -m repro.cli ablation regret
+    python -m repro.cli scenario --arrival diurnal --scheme econ-cheap
     python -m repro.cli describe
 
-Every subcommand prints a plain-text table to stdout.
+Every subcommand prints a plain-text table to stdout. ``--jobs N`` fans
+the (scheme x interval) grid cells out over N worker processes; the
+table is byte-identical to the sequential run. ``scenario`` replays any
+scheme under one of the scenario-diverse arrival regimes through the
+event kernel.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
 
 from repro.experiments.ablations import (
     ABLATION_HEADERS,
@@ -34,7 +42,10 @@ from repro.experiments.figure5 import figure5_table
 from repro.experiments.headline import headline_table
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_grid
+from repro.policies.factory import SCHEME_NAMES
+from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
+from repro.workload.scenarios import SCENARIO_NAMES, build_scenario
 
 _PROFILES = {
     "quick": QUICK_PROFILE,
@@ -69,18 +80,43 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--profile", choices=sorted(_PROFILES), default="quick",
                          help="experiment profile (default: quick)")
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the grid cells "
+                              "(default: 1, sequential)")
 
     ablation = subparsers.add_parser("ablation", help="run one ablation sweep")
     ablation.add_argument("which", choices=sorted(_ABLATIONS))
     ablation.add_argument("--queries", type=int, default=400,
                           help="queries per sweep point (default: 400)")
 
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run one scheme under a scenario-diverse arrival regime")
+    scenario.add_argument("--arrival", choices=SCENARIO_NAMES, default="diurnal",
+                          help="arrival scenario (default: diurnal)")
+    scenario.add_argument("--scheme", choices=SCHEME_NAMES, default="econ-cheap",
+                          help="caching scheme (default: econ-cheap)")
+    scenario.add_argument("--queries", type=int, default=400,
+                          help="queries to simulate (default: 400)")
+    scenario.add_argument("--interarrival", type=float, default=10.0,
+                          help="mean inter-arrival time in seconds (default: 10)")
+    scenario.add_argument("--seed", type=int, default=0,
+                          help="workload seed (default: 0)")
+    scenario.add_argument("--settlement-period", type=float, default=None,
+                          metavar="S",
+                          help="fire a periodic maintenance settlement every "
+                               "S simulated seconds")
+    scenario.add_argument("--failure-check-period", type=float, default=None,
+                          metavar="S",
+                          help="fire a scheduled structure-failure check every "
+                               "S simulated seconds")
+
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
 
 
-def _figure_command(command: str, profile: ExperimentProfile) -> str:
-    grid = run_grid(profile)
+def _figure_command(command: str, profile: ExperimentProfile, jobs: int) -> str:
+    grid = run_grid(profile, jobs=jobs)
     if command == "figure4":
         return figure4_table(grid=grid)
     if command == "figure5":
@@ -94,6 +130,41 @@ def _ablation_command(which: str, queries: int) -> str:
                                 interarrival_times_s=(1.0,))
     rows = driver(profile=profile)
     return format_table(ABLATION_HEADERS, rows, title=title)
+
+
+def _scenario_command(args: argparse.Namespace) -> str:
+    scenario = build_scenario(
+        args.arrival,
+        query_count=args.queries,
+        interarrival_s=args.interarrival,
+        seed=args.seed,
+    )
+    system = CloudSystem()
+    scheme = system.scheme(args.scheme)
+    simulation = CloudSimulation(scheme, SimulationConfig(
+        settlement_period_s=args.settlement_period,
+        failure_check_period_s=args.failure_check_period,
+    ))
+    result = simulation.run(scenario.queries,
+                            phase_changes=scenario.phase_changes)
+    summary = result.summary
+    headers = ["metric", "value"]
+    rows: List[List[object]] = [
+        ["scheme", summary.scheme_name],
+        ["arrival scenario", f"{scenario.name} ({scenario.description})"],
+        ["queries", summary.query_count],
+        ["phase changes", len(scenario.phase_changes)],
+        ["duration_s", summary.duration_s],
+        ["operating_cost", summary.operating_cost],
+        ["maintenance", summary.maintenance_dollars],
+        ["mean_response_s", summary.mean_response_time_s],
+        ["p95_response_s", summary.p95_response_time_s],
+        ["cache_hit_rate", summary.cache_hit_rate],
+        ["builds", summary.builds],
+        ["evictions", summary.evictions],
+    ]
+    title = f"Scenario - {scenario.name} x {summary.scheme_name}"
+    return format_table(headers, rows, title=title)
 
 
 def _describe_command() -> str:
@@ -111,12 +182,21 @@ def _describe_command() -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command in ("figure4", "figure5", "headline"):
-        output = _figure_command(args.command, _PROFILES[args.profile])
-    elif args.command == "ablation":
-        output = _ablation_command(args.which, args.queries)
-    else:
-        output = _describe_command()
+    try:
+        if args.command in ("figure4", "figure5", "headline"):
+            output = _figure_command(args.command, _PROFILES[args.profile],
+                                     args.jobs)
+        elif args.command == "ablation":
+            output = _ablation_command(args.which, args.queries)
+        elif args.command == "scenario":
+            output = _scenario_command(args)
+        else:
+            output = _describe_command()
+    except ReproError as error:
+        # Invalid values (e.g. --jobs 0) surface as library errors; report
+        # them like argparse does instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(output)
     return 0
 

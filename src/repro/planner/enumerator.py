@@ -4,8 +4,10 @@ For every incoming query the enumerator produces the candidate plan set
 ``PQ``: the back-end plan (always available), cache column-scan plans, and —
 when the scheme permits — index plans and multi-node variants. Which of
 these plans fall into ``PQexist`` versus ``PQpos`` is determined later by
-the economy against the current cache contents; the enumerator itself is
-stateless.
+the economy against the current cache contents; the enumerator holds no
+cache state, only per-template memos of the structural hot path (which
+columns a plan needs, which candidate indexes are relevant) — those
+depend on the template alone, never on the cache or the instance.
 """
 
 from __future__ import annotations
@@ -62,6 +64,12 @@ class PlanEnumerator:
         self._execution = execution_model
         self._candidate_indexes = tuple(candidate_indexes)
         self._config = config
+        # Per-template memo of the structural hot path: which columns a
+        # cache-resident plan needs and which candidate indexes are relevant
+        # depend only on the template (instances vary in selectivities, not
+        # in the columns they touch), yet were recomputed for every query.
+        self._columns_by_template: dict = {}
+        self._indexes_by_template: dict = {}
 
     @property
     def config(self) -> EnumeratorConfig:
@@ -80,14 +88,15 @@ class PlanEnumerator:
         plans: List[QueryPlan] = []
         if self._config.allow_backend_plan:
             plans.append(self._backend_plan(query))
-        required_columns = required_columns_for(query)
+        required_columns = self._required_columns(query)
+        relevant_indexes = (self._memoized_relevant_indexes(query)
+                            if self._config.allow_index_plans else ())
         for node_count in self._node_counts():
             plans.append(self._column_scan_plan(query, required_columns, node_count))
-            if self._config.allow_index_plans:
-                for index in self._relevant_indexes(query):
-                    plans.append(
-                        self._index_plan(query, required_columns, index, node_count)
-                    )
+            for index in relevant_indexes:
+                plans.append(
+                    self._index_plan(query, required_columns, index, node_count)
+                )
         return plans
 
     # -- plan constructors --------------------------------------------------------
@@ -131,6 +140,32 @@ class PlanEnumerator:
 
     def _node_counts(self) -> Iterable[int]:
         return range(1, self._config.max_extra_nodes + 2)
+
+    def _required_columns(self, query: Query) -> Tuple[CacheStructure, ...]:
+        """Memoized :func:`required_columns_for`, keyed by template name.
+
+        Queries instantiated from the same template touch the same columns
+        (only selectivities differ), so the column set is computed once per
+        template instead of once per query.
+        """
+        cached = self._columns_by_template.get(query.template_name)
+        if cached is None:
+            cached = required_columns_for(query)
+            self._columns_by_template[query.template_name] = cached
+        return cached
+
+    def _memoized_relevant_indexes(self, query: Query) -> Tuple[CachedIndex, ...]:
+        """Memoized :meth:`_relevant_indexes`, keyed by template name.
+
+        Relevance depends only on the template's predicated columns, yet
+        the unmemoized path filters and sorts the whole candidate pool for
+        every query.
+        """
+        cached = self._indexes_by_template.get(query.template_name)
+        if cached is None:
+            cached = tuple(self._relevant_indexes(query))
+            self._indexes_by_template[query.template_name] = cached
+        return cached
 
     def _node_structures(self, node_count: int) -> Tuple[CacheStructure, ...]:
         """Extra-node structures a plan with ``node_count`` total nodes needs."""

@@ -74,3 +74,13 @@ class CachingScheme(abc.ABC):
     def maintenance_rate(self) -> float:
         """Current $ per second of storage and node uptime the scheme pays."""
         return self.cache.maintenance_rate_total()
+
+    def eviction_loss(self, record) -> float:
+        """Dollar loss one eviction record contributes to this scheme's metrics.
+
+        The economic schemes count unpaid maintenance plus the unrecovered
+        build investment; schemes with a different accounting (the bypass
+        baseline only tracks unrecovered build cost) override this so that
+        kernel-driven evictions are booked identically to per-query ones.
+        """
+        return record.unpaid_maintenance + record.unrecovered_build_cost

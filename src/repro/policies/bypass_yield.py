@@ -80,6 +80,11 @@ class BypassYieldScheme(CachingScheme):
         """The baseline's configuration."""
         return self._config
 
+    def eviction_loss(self, record) -> float:
+        """The bypass baseline only books the unrecovered build cost (it has
+        no maintenance-recovery accounting), matching its per-query steps."""
+        return record.unrecovered_build_cost
+
     # -- query processing ----------------------------------------------------------
 
     def process(self, query: Query) -> SchemeStep:

@@ -1,16 +1,31 @@
-"""A minimal discrete-event core.
+"""The event hierarchy of the simulation kernel.
 
-The current experiments only need query-arrival events, but the queue is
-generic so extensions (periodic maintenance settlements, asynchronous build
-completions) can be added without restructuring the simulation loop.
+Every occurrence the kernel can react to is an :class:`Event` subclass:
+query arrivals, periodic maintenance settlements, scheduled
+structure-failure checks, and workload phase changes. The queue orders
+events by time; **simultaneous events dispatch in a documented, stable
+order** so that runs are reproducible regardless of scheduling order:
+
+1. :class:`WorkloadPhaseChangeEvent` (priority 0) — a phase boundary
+   applies before anything else that happens at the same instant.
+2. :class:`MaintenanceSettlementEvent` (priority 10) — storage/uptime is
+   settled up to the instant *before* simultaneous queries can change
+   what is built.
+3. :class:`StructureFailureCheckEvent` (priority 20) — failed structures
+   are released before a simultaneous arrival could be served by them.
+4. :class:`QueryArrivalEvent` (priority 30) — queries run last.
+
+Unclassified :class:`Event` subclasses default to priority 40 and
+dispatch after the built-ins. Events with equal time and equal priority
+dispatch in FIFO (insertion) order.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.workload.query import Query
@@ -18,9 +33,16 @@ from repro.workload.query import Query
 
 @dataclass(frozen=True)
 class Event:
-    """Base event: something that happens at a simulated instant."""
+    """Base event: something that happens at a simulated instant.
+
+    ``priority`` is a class-level dispatch rank, not a field: lower ranks
+    dispatch first among events scheduled for the same instant (see the
+    module docstring for the documented order).
+    """
 
     time_s: float
+
+    priority: ClassVar[int] = 40
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
@@ -28,8 +50,75 @@ class Event:
 
 
 @dataclass(frozen=True)
+class WorkloadPhaseChangeEvent(Event):
+    """The workload entered a new phase (burst start, diurnal swing, drift).
+
+    Emitted by the scenario layer (:mod:`repro.workload.scenarios`);
+    handlers may react by re-tuning, logging, or simply counting.
+    """
+
+    priority: ClassVar[int] = 0
+
+    phase_index: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.phase_index < 0:
+            raise SimulationError(
+                f"phase_index must be non-negative, got {self.phase_index}"
+            )
+
+
+@dataclass(frozen=True)
+class MaintenanceSettlementEvent(Event):
+    """Charge storage/uptime maintenance accrued up to this instant.
+
+    Attributes:
+        period_s: when set, a :class:`~repro.simulator.handlers.PeriodicRescheduler`
+            re-schedules the event every ``period_s`` seconds.
+        final: marks the trailing settlement that closes a run.
+    """
+
+    priority: ClassVar[int] = 10
+
+    period_s: Optional[float] = None
+    final: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s is not None and self.period_s <= 0:
+            raise SimulationError(
+                f"period_s must be positive, got {self.period_s}"
+            )
+
+
+@dataclass(frozen=True)
+class StructureFailureCheckEvent(Event):
+    """Scheduled check releasing structures that failed by idleness.
+
+    Complements the per-query check inside the economy: with long
+    inter-arrival gaps a scheduled check can stop maintenance accrual on a
+    dead structure *between* arrivals.
+    """
+
+    priority: ClassVar[int] = 20
+
+    period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s is not None and self.period_s <= 0:
+            raise SimulationError(
+                f"period_s must be positive, got {self.period_s}"
+            )
+
+
+@dataclass(frozen=True)
 class QueryArrivalEvent(Event):
     """A user query arriving at the coordinator."""
+
+    priority: ClassVar[int] = 30
 
     query: Query = None  # type: ignore[assignment]
 
@@ -40,10 +129,14 @@ class QueryArrivalEvent(Event):
 
 
 class EventQueue:
-    """A time-ordered event queue with FIFO tie-breaking."""
+    """A time-ordered event queue with (priority, FIFO) tie-breaking.
+
+    Events pop in ascending ``(time_s, priority, insertion order)`` — the
+    stable order the module docstring documents.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -56,7 +149,10 @@ class EventQueue:
 
     def push(self, event: Event) -> None:
         """Schedule an event."""
-        heapq.heappush(self._heap, (event.time_s, next(self._counter), event))
+        heapq.heappush(
+            self._heap,
+            (event.time_s, event.priority, next(self._counter), event),
+        )
 
     def push_all(self, events) -> None:
         """Schedule many events."""
@@ -67,7 +163,7 @@ class EventQueue:
         """Remove and return the earliest event."""
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        _, _, event = heapq.heappop(self._heap)
+        _, _, _, event = heapq.heappop(self._heap)
         return event
 
     def peek_time(self) -> Optional[float]:

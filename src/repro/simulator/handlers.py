@@ -1,0 +1,150 @@
+"""Standard event handlers wiring schemes and maintenance to the kernel.
+
+The old simulation loop special-cased maintenance settlement inline
+between arrivals; here the same accounting is expressed as handlers:
+
+* :class:`SchemeTenant` — connects one caching scheme (and its metrics
+  collector) to the kernel. Arrivals settle the tenant's maintenance up
+  to the arrival instant and then drive the scheme; settlement and
+  failure-check events settle without running a query. Several tenants
+  can share one kernel (and therefore one clock) in a single run.
+* :class:`PeriodicRescheduler` — re-schedules periodic settlement /
+  failure-check events up to a horizon. Register it **once** per kernel
+  (not per tenant), or periodic events would multiply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.policies.base import CachingScheme
+from repro.simulator.events import (
+    Event,
+    MaintenanceSettlementEvent,
+    QueryArrivalEvent,
+    StructureFailureCheckEvent,
+    WorkloadPhaseChangeEvent,
+)
+from repro.simulator.kernel import SimulationKernel
+from repro.simulator.metrics import MetricsCollector
+
+
+class SchemeTenant:
+    """One scheme's view of a shared simulation run.
+
+    Maintenance accrues continuously at the scheme's current rate; the
+    rate only changes when the scheme processes a query, so settling at
+    every event boundary integrates the cost exactly. Warm-up queries
+    update the scheme's state but are excluded from the metrics, matching
+    the original loop's semantics.
+    """
+
+    def __init__(self, scheme: CachingScheme, collector: MetricsCollector,
+                 warmup_queries: int = 0, start_time_s: float = 0.0) -> None:
+        if warmup_queries < 0:
+            raise SimulationError("warmup_queries must be non-negative")
+        self._scheme = scheme
+        self._collector = collector
+        self._warmup = warmup_queries
+        self._processed = 0
+        self._last_settled_s = start_time_s
+        self._phase_changes = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def scheme(self) -> CachingScheme:
+        """The scheme this tenant drives."""
+        return self._scheme
+
+    @property
+    def collector(self) -> MetricsCollector:
+        """The metrics collector accumulating this tenant's run."""
+        return self._collector
+
+    @property
+    def processed_queries(self) -> int:
+        """Queries processed so far (warm-up included)."""
+        return self._processed
+
+    @property
+    def phase_changes_seen(self) -> int:
+        """Workload phase-change events observed so far."""
+        return self._phase_changes
+
+    # -- wiring ----------------------------------------------------------------
+
+    def register(self, kernel: SimulationKernel) -> None:
+        """Register this tenant's handlers on ``kernel``."""
+        kernel.register(QueryArrivalEvent, self.on_arrival)
+        kernel.register(MaintenanceSettlementEvent, self.on_settlement)
+        kernel.register(StructureFailureCheckEvent, self.on_failure_check)
+        kernel.register(WorkloadPhaseChangeEvent, self.on_phase_change)
+
+    # -- handlers --------------------------------------------------------------
+
+    def on_arrival(self, event: Event, kernel: SimulationKernel) -> None:
+        """Settle maintenance up to the arrival, then serve the query."""
+        assert isinstance(event, QueryArrivalEvent)
+        self._settle(event.time_s)
+        step = self._scheme.process(event.query)
+        self._processed += 1
+        if self._processed > self._warmup:
+            self._collector.record_step(step)
+
+    def on_settlement(self, event: Event, kernel: SimulationKernel) -> None:
+        """Charge maintenance accrued since the last settlement."""
+        self._settle(event.time_s)
+
+    def on_failure_check(self, event: Event, kernel: SimulationKernel) -> None:
+        """Release idle-failed structures (after settling up to now).
+
+        The metrics gate mirrors the maintenance one: evictions during the
+        warm-up window update the cache but stay out of the summary, exactly
+        as an eviction inside a warm-up query step would.
+        """
+        self._settle(event.time_s)
+        records = self._scheme.cache.evict_failed_structures(event.time_s)
+        if records and self._processed >= self._warmup:
+            self._collector.record_kernel_evictions(
+                records, loss_of=self._scheme.eviction_loss)
+
+    def on_phase_change(self, event: Event, kernel: SimulationKernel) -> None:
+        """Observe a workload phase boundary (schemes are self-tuned; the
+        boundary is informational, but counting it keeps runs auditable)."""
+        self._phase_changes += 1
+
+    # -- internals -------------------------------------------------------------
+
+    def _settle(self, now: float) -> None:
+        elapsed = now - self._last_settled_s
+        self._last_settled_s = max(self._last_settled_s, now)
+        if elapsed <= 0 or self._processed < self._warmup:
+            return
+        rate = self._scheme.maintenance_rate()
+        self._collector.record_maintenance(rate * elapsed, elapsed)
+
+
+class PeriodicRescheduler:
+    """Chains periodic events: re-schedules any event carrying ``period_s``.
+
+    Register once per kernel, for each periodic event type, *after* the
+    tenants — registration order is dispatch order, so the follow-up is
+    scheduled only after every tenant has handled the current occurrence.
+    """
+
+    def __init__(self, horizon_s: Optional[float] = None) -> None:
+        if horizon_s is not None and horizon_s < 0:
+            raise SimulationError("horizon_s must be non-negative")
+        self._horizon_s = horizon_s
+
+    def __call__(self, event: Event, kernel: SimulationKernel) -> None:
+        period = getattr(event, "period_s", None)
+        if not period:
+            return
+        next_time = event.time_s + period
+        if self._horizon_s is not None and next_time > self._horizon_s:
+            return
+        kernel.schedule(replace(event, time_s=next_time))

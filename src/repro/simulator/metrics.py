@@ -83,6 +83,8 @@ class MetricsCollector:
         self._steps: List[SchemeStep] = []
         self._maintenance_dollars = 0.0
         self._duration_s = 0.0
+        self._kernel_evictions = 0
+        self._kernel_eviction_losses = 0.0
 
     @property
     def steps(self) -> Tuple[SchemeStep, ...]:
@@ -104,6 +106,23 @@ class MetricsCollector:
             raise SimulationError("maintenance cost and duration must be non-negative")
         self._maintenance_dollars += dollars
         self._duration_s += elapsed_s
+
+    def record_kernel_evictions(self, records, loss_of) -> None:
+        """Record evictions driven by kernel events rather than query steps.
+
+        Scheduled structure-failure checks release structures between
+        arrivals; those evictions belong to no query step, so they are
+        accumulated here and folded into the summary totals.
+
+        Args:
+            records: the ``EvictionRecord`` objects the cache produced.
+            loss_of: maps a record to the dollar loss the scheme books for
+                it (schemes account evictions differently — pass the
+                scheme's ``eviction_loss``).
+        """
+        for record in records:
+            self._kernel_evictions += 1
+            self._kernel_eviction_losses += loss_of(record)
 
     # -- aggregation --------------------------------------------------------------
 
@@ -150,6 +169,8 @@ class MetricsCollector:
             total_charge=sum(step.charge for step in self._steps),
             total_profit=sum(step.profit for step in self._steps),
             builds=sum(step.builds for step in self._steps),
-            evictions=sum(step.evictions for step in self._steps),
-            eviction_losses=sum(step.eviction_losses for step in self._steps),
+            evictions=(sum(step.evictions for step in self._steps)
+                       + self._kernel_evictions),
+            eviction_losses=(sum(step.eviction_losses for step in self._steps)
+                             + self._kernel_eviction_losses),
         )

@@ -1,23 +1,34 @@
-"""The simulation loop.
+"""The simulation drivers, assembled on the event kernel.
 
-The simulation pushes one arrival event per workload query onto the event
-queue and processes them in time order. Between consecutive events it
-integrates the time-proportional maintenance cost of everything the scheme
-currently keeps built (disk storage of cached columns and indexes, uptime of
-extra CPU nodes), which is how the inter-arrival time ends up mattering for
-the operating cost even though per-query work is unchanged — exactly the
-effect Figures 4 and 5 study.
+:class:`CloudSimulation` keeps its original one-scheme API but is now a
+thin assembly over :class:`~repro.simulator.kernel.SimulationKernel`:
+query arrivals, maintenance settlements, scheduled failure checks and
+workload phase changes are all events dispatched to registered handlers
+(:mod:`repro.simulator.handlers`) instead of inline special cases.
+Between consecutive events the tenant integrates the time-proportional
+maintenance cost of everything the scheme keeps built, which is how the
+inter-arrival time ends up mattering for the operating cost even though
+per-query work is unchanged — exactly the effect Figures 4 and 5 study.
+
+:class:`MultiSchemeSimulation` runs several schemes against the same
+workload on one shared clock in a single kernel run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.policies.base import CachingScheme
-from repro.simulator.clock import SimulationClock
-from repro.simulator.events import EventQueue, QueryArrivalEvent
+from repro.simulator.events import (
+    MaintenanceSettlementEvent,
+    QueryArrivalEvent,
+    StructureFailureCheckEvent,
+    WorkloadPhaseChangeEvent,
+)
+from repro.simulator.handlers import PeriodicRescheduler, SchemeTenant
+from repro.simulator.kernel import SimulationKernel
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.results import SimulationResult
 from repro.workload.query import Query
@@ -32,17 +43,125 @@ class SimulationConfig:
             (they still update the scheme's state). The paper's measurements
             start from an operating cloud; a small warm-up avoids crediting
             or penalising schemes for the very first cold-cache queries.
-        trailing_settlement: whether maintenance is also charged for the
-            interval between the last two arrivals after the final query
-            (keeps total duration equal to ``count * interarrival``).
+        trailing_settlement: whether maintenance is also charged for one
+            mean inter-arrival interval after the final query, keeping the
+            measured duration equal to ``count * interarrival`` exactly
+            (the trailing interval is the workload's empirical mean gap,
+            ``span / (count - 1)``).
+        settlement_period_s: when set, a periodic maintenance settlement
+            event fires every this many seconds; settlement at event
+            boundaries is exact either way (the rate only changes at
+            arrivals), so the period only affects accounting granularity.
+        failure_check_period_s: when set, a scheduled structure-failure
+            check fires every this many seconds, releasing idle-failed
+            structures *between* arrivals instead of only at the next
+            query. ``None`` (the default) preserves the paper pipeline's
+            per-query-only checks.
     """
 
     warmup_queries: int = 0
     trailing_settlement: bool = True
+    settlement_period_s: Optional[float] = None
+    failure_check_period_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.warmup_queries < 0:
             raise SimulationError("warmup_queries must be non-negative")
+        if self.settlement_period_s is not None and self.settlement_period_s <= 0:
+            raise SimulationError("settlement_period_s must be positive")
+        if (self.failure_check_period_s is not None
+                and self.failure_check_period_s <= 0):
+            raise SimulationError("failure_check_period_s must be positive")
+
+
+def trailing_interval_for(queries: Sequence[Query]) -> float:
+    """The exact trailing-settlement interval for a workload.
+
+    The run's measured duration should equal ``count * interarrival``:
+    the span covers ``count - 1`` gaps, so the trailing charge is the
+    empirical mean gap ``span / (count - 1)`` — exact for fixed arrivals
+    and unbiased for irregular ones (the old heuristic reused the last
+    *positive* gap, charging a stale interval when the final arrivals
+    were simultaneous).
+    """
+    if len(queries) < 2:
+        return 0.0
+    span = queries[-1].arrival_time - queries[0].arrival_time
+    return span / (len(queries) - 1)
+
+
+def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
+                 config: SimulationConfig,
+                 phase_changes: Sequence = ()) -> Dict[str, SimulationResult]:
+    """Shared kernel assembly: run ``schemes`` over one workload and clock."""
+    query_list = list(queries)
+    if not query_list:
+        raise SimulationError("the workload contains no queries")
+    if config.warmup_queries >= len(query_list):
+        raise SimulationError(
+            f"warmup_queries={config.warmup_queries} leaves no "
+            f"measured queries out of {len(query_list)}"
+        )
+
+    start_s = query_list[0].arrival_time
+    last_arrival_s = query_list[-1].arrival_time
+    trailing_s = trailing_interval_for(query_list)
+    end_s = last_arrival_s + (trailing_s if config.trailing_settlement else 0.0)
+
+    kernel = SimulationKernel(start_time_s=start_s)
+    tenants: List[SchemeTenant] = []
+    for scheme in schemes:
+        tenant = SchemeTenant(
+            scheme,
+            MetricsCollector(scheme.name),
+            warmup_queries=config.warmup_queries,
+            start_time_s=start_s,
+        )
+        tenant.register(kernel)
+        tenants.append(tenant)
+
+    rescheduler = PeriodicRescheduler(horizon_s=end_s)
+    kernel.register(MaintenanceSettlementEvent, rescheduler)
+    kernel.register(StructureFailureCheckEvent, rescheduler)
+
+    kernel.schedule_all(
+        QueryArrivalEvent(time_s=query.arrival_time, query=query)
+        for query in query_list
+    )
+    for change in phase_changes:
+        kernel.schedule(WorkloadPhaseChangeEvent(
+            time_s=change.time_s,
+            phase_index=change.phase_index,
+            label=change.label,
+        ))
+    # Periodic events are clamped to the run horizon: an initial occurrence
+    # past end_s would extend the measured duration beyond the documented
+    # count * interarrival invariant (the rescheduler caps follow-ups the
+    # same way).
+    if (config.settlement_period_s is not None
+            and start_s + config.settlement_period_s <= end_s):
+        kernel.schedule(MaintenanceSettlementEvent(
+            time_s=start_s + config.settlement_period_s,
+            period_s=config.settlement_period_s,
+        ))
+    if (config.failure_check_period_s is not None
+            and start_s + config.failure_check_period_s <= end_s):
+        kernel.schedule(StructureFailureCheckEvent(
+            time_s=start_s + config.failure_check_period_s,
+            period_s=config.failure_check_period_s,
+        ))
+    if config.trailing_settlement and trailing_s > 0:
+        kernel.schedule(MaintenanceSettlementEvent(time_s=end_s, final=True))
+
+    kernel.run()
+
+    return {
+        tenant.scheme.name: SimulationResult(
+            summary=tenant.collector.summary(),
+            steps=tenant.collector.steps,
+        )
+        for tenant in tenants
+    }
 
 
 class CloudSimulation:
@@ -58,54 +177,50 @@ class CloudSimulation:
         """The scheme under simulation."""
         return self._scheme
 
-    def run(self, queries: Sequence[Query]) -> SimulationResult:
-        """Process all queries in arrival order and return the result."""
-        query_list = list(queries)
-        if not query_list:
-            raise SimulationError("the workload contains no queries")
-        if self._config.warmup_queries >= len(query_list):
-            raise SimulationError(
-                f"warmup_queries={self._config.warmup_queries} leaves no "
-                f"measured queries out of {len(query_list)}"
-            )
+    def run(self, queries: Sequence[Query],
+            phase_changes: Sequence = ()) -> SimulationResult:
+        """Process all queries in arrival order and return the result.
 
-        events = EventQueue()
-        events.push_all(
-            QueryArrivalEvent(time_s=query.arrival_time, query=query)
-            for query in query_list
-        )
+        Args:
+            queries: the workload, in arrival order.
+            phase_changes: optional workload phase boundaries (see
+                :mod:`repro.workload.scenarios`), scheduled as
+                :class:`~repro.simulator.events.WorkloadPhaseChangeEvent`.
+        """
+        results = _run_tenants([self._scheme], queries, self._config,
+                               phase_changes=phase_changes)
+        return results[self._scheme.name]
 
-        clock = SimulationClock(start_time_s=query_list[0].arrival_time)
-        collector = MetricsCollector(self._scheme.name)
-        processed = 0
-        last_interval = 0.0
 
-        while not events.empty:
-            event = events.pop()
-            if not isinstance(event, QueryArrivalEvent):
-                raise SimulationError(f"unexpected event type: {event!r}")
-            elapsed = clock.advance_to(event.time_s)
-            last_interval = elapsed if elapsed > 0 else last_interval
-            self._settle_maintenance(collector, elapsed, measured=processed >= self._config.warmup_queries)
+class MultiSchemeSimulation:
+    """Runs several schemes over one workload on a single shared clock.
 
-            step = self._scheme.process(event.query)
-            processed += 1
-            if processed > self._config.warmup_queries:
-                collector.record_step(step)
+    Each scheme keeps its own cache and metrics; they only share the
+    kernel and its event stream, so an N-scheme run dispatches each
+    arrival once instead of re-running the simulation N times.
+    """
 
-        if self._config.trailing_settlement and last_interval > 0:
-            clock.advance_by(last_interval)
-            self._settle_maintenance(collector, last_interval, measured=True)
+    def __init__(self, schemes: Sequence[CachingScheme],
+                 config: SimulationConfig = SimulationConfig()) -> None:
+        scheme_list = list(schemes)
+        if not scheme_list:
+            raise SimulationError("at least one scheme is required")
+        names = [scheme.name for scheme in scheme_list]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"scheme names must be unique, got {names}")
+        self._schemes = scheme_list
+        self._config = config
 
-        return SimulationResult(summary=collector.summary(), steps=collector.steps)
+    @property
+    def schemes(self) -> Tuple[CachingScheme, ...]:
+        """The schemes under simulation."""
+        return tuple(self._schemes)
 
-    def _settle_maintenance(self, collector: MetricsCollector, elapsed_s: float,
-                            measured: bool) -> None:
-        """Charge storage/uptime for the elapsed interval (if being measured)."""
-        if elapsed_s <= 0 or not measured:
-            return
-        rate = self._scheme.maintenance_rate()
-        collector.record_maintenance(rate * elapsed_s, elapsed_s)
+    def run(self, queries: Sequence[Query],
+            phase_changes: Sequence = ()) -> Dict[str, SimulationResult]:
+        """Run every scheme over ``queries``; results keyed by scheme name."""
+        return _run_tenants(self._schemes, queries, self._config,
+                            phase_changes=phase_changes)
 
 
 def run_scheme(scheme: CachingScheme, queries: Iterable[Query],

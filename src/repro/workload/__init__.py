@@ -6,24 +6,45 @@ provides the analytic query model (which columns a query touches, how
 selective its predicates are, how big its result is), the seven templates,
 and a generator that produces an evolving workload with the data and
 temporal locality properties Section VI calls out as prerequisites for a
-viable cache economy.
+viable cache economy. The scenario layer (:mod:`repro.workload.scenarios`)
+adds bursty, diurnal, and phase-shift arrival regimes plus drifting
+template mixes, each announcing its phase boundaries to the simulation
+kernel.
 """
 
 from repro.workload.arrival import (
     ArrivalProcess,
     FixedInterarrival,
+    PhaseChange,
     PoissonArrival,
     TraceArrival,
 )
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 from repro.workload.query import Predicate, PredicateKind, Query, QueryTemplate
+from repro.workload.scenarios import (
+    SCENARIO_NAMES,
+    BurstyArrival,
+    DiurnalArrival,
+    PhaseShiftArrival,
+    ScenarioWorkload,
+    build_scenario,
+    drifting_mix_workload,
+)
 from repro.workload.templates import paper_templates, template_by_name
 
 __all__ = [
     "ArrivalProcess",
     "FixedInterarrival",
+    "PhaseChange",
     "PoissonArrival",
     "TraceArrival",
+    "BurstyArrival",
+    "DiurnalArrival",
+    "PhaseShiftArrival",
+    "ScenarioWorkload",
+    "SCENARIO_NAMES",
+    "build_scenario",
+    "drifting_mix_workload",
     "WorkloadGenerator",
     "WorkloadSpec",
     "Predicate",

@@ -3,17 +3,46 @@
 Figures 4 and 5 sweep the query inter-arrival time over 1, 10, 30 and 60
 seconds; the paper treats it as a fixed interval. The simulator also supports
 a Poisson process with the same mean (useful for sensitivity studies) and an
-explicit trace of arrival instants.
+explicit trace of arrival instants. Scenario-diverse processes (bursty,
+diurnal, phase-shift) live in :mod:`repro.workload.scenarios`; processes
+whose rate changes over time announce their boundaries as
+:class:`PhaseChange` markers, which the simulation kernel turns into
+workload phase-change events.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence
 
 import numpy as np
 
 from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class PhaseChange:
+    """A workload phase boundary: the arrival regime changes at this instant.
+
+    The marker is deliberately simulator-agnostic (the workload layer does
+    not import the simulator); the simulation drivers convert markers into
+    ``WorkloadPhaseChangeEvent`` kernel events.
+    """
+
+    time_s: float
+    phase_index: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise WorkloadError(
+                f"phase-change time must be non-negative, got {self.time_s}"
+            )
+        if self.phase_index < 0:
+            raise WorkloadError(
+                f"phase_index must be non-negative, got {self.phase_index}"
+            )
 
 
 class ArrivalProcess(abc.ABC):
@@ -27,6 +56,15 @@ class ArrivalProcess(abc.ABC):
     @abc.abstractmethod
     def mean_interarrival(self) -> float:
         """Average spacing between arrivals, in seconds."""
+
+    def phase_changes(self, count: int) -> List[PhaseChange]:
+        """Phase boundaries within the first ``count`` arrivals.
+
+        Stationary processes (fixed, Poisson, trace) have none; the
+        scenario processes override this.
+        """
+        _validate_count(count)
+        return []
 
 
 class FixedInterarrival(ArrivalProcess):

@@ -27,6 +27,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ablation", "unknown"])
 
+    def test_figure_commands_accept_jobs(self):
+        args = build_parser().parse_args(["figure4", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["headline"])
+        assert args.jobs == 1
+
+    def test_scenario_defaults_and_choices(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.arrival == "diurnal"
+        assert args.scheme == "econ-cheap"
+        args = build_parser().parse_args(
+            ["scenario", "--arrival", "bursty", "--scheme", "bypass",
+             "--queries", "30", "--interarrival", "2.5"])
+        assert args.arrival == "bursty"
+        assert args.interarrival == 2.5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "--arrival", "tsunami"])
+
 
 class TestCommands:
     def test_describe_prints_the_schema(self, capsys):
@@ -53,3 +71,35 @@ class TestCommands:
         assert "Figure 4" in capsys.readouterr().out
         assert main(["figure5", "--profile", "quick"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+    def test_parallel_figure_output_matches_sequential(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.experiments.config import ExperimentProfile
+
+        tiny = ExperimentProfile(name="cli-tiny-jobs", query_count=20,
+                                 interarrival_times_s=(1.0,),
+                                 schemes=("bypass", "econ-col"))
+        monkeypatch.setitem(cli._PROFILES, "quick", tiny)
+        clear_grid_cache()
+        assert main(["figure4", "--profile", "quick"]) == 0
+        sequential = capsys.readouterr().out
+        clear_grid_cache()
+        assert main(["figure4", "--profile", "quick", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_invalid_values_report_cleanly(self, capsys):
+        assert main(["figure4", "--jobs", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "jobs must be >= 1" in captured.err
+        assert "Traceback" not in captured.err
+        assert main(["scenario", "--queries", "0"]) == 2
+        assert "query_count must be positive" in capsys.readouterr().err
+
+    def test_scenario_command_prints_a_summary(self, capsys):
+        assert main(["scenario", "--arrival", "bursty", "--scheme", "bypass",
+                     "--queries", "25", "--interarrival", "2.0"]) == 0
+        output = capsys.readouterr().out
+        assert "Scenario - bursty x bypass" in output
+        assert "phase changes" in output
+        assert "operating_cost" in output

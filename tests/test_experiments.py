@@ -85,6 +85,51 @@ class TestRunner:
         assert cell.scheme == "bypass"
         assert cell.summary.operating_cost > 0
 
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_grid(TINY_PROFILE, use_cache=False, jobs=0)
+
+    def test_grid_cache_is_bounded(self):
+        from repro.experiments import runner
+
+        clear_grid_cache()
+        profiles = [
+            TINY_PROFILE.with_overrides(name=f"bound-{index}", query_count=2)
+            for index in range(runner._GRID_CACHE_MAX_ENTRIES + 2)
+        ]
+        small = [profile.with_overrides(interarrival_times_s=(1.0,),
+                                        schemes=("bypass",))
+                 for profile in profiles]
+        for profile in small:
+            run_grid(profile)
+        assert len(runner._GRID_CACHE) == runner._GRID_CACHE_MAX_ENTRIES
+        # The oldest entries were evicted; the newest are still cached.
+        assert small[0] not in runner._GRID_CACHE
+        assert small[-1] in runner._GRID_CACHE
+        clear_grid_cache()
+
+
+class TestParallelRunner:
+    """The grid is embarrassingly parallel; fan-out must not change results."""
+
+    PARALLEL_PROFILE = ExperimentProfile(
+        name="parallel-check",
+        query_count=40,
+        interarrival_times_s=(1.0, 30.0),
+        schemes=("bypass", "econ-cheap"),
+    )
+
+    def test_parallel_grid_is_cell_for_cell_identical(self):
+        sequential = run_grid(self.PARALLEL_PROFILE, use_cache=False)
+        parallel = run_grid(self.PARALLEL_PROFILE, use_cache=False, jobs=2)
+        assert len(parallel.cells) == len(sequential.cells)
+        for seq_cell, par_cell in zip(sequential.cells, parallel.cells):
+            assert par_cell.scheme == seq_cell.scheme
+            assert par_cell.interarrival_s == seq_cell.interarrival_s
+            # MetricsSummary is a frozen dataclass: equality is exact,
+            # field by field, no tolerance.
+            assert par_cell.summary == seq_cell.summary
+
 
 class TestFigures:
     def test_figure4_rows_shape(self, tiny_grid):

@@ -73,6 +73,46 @@ class TestCloudSimulation:
         assert result.mean_response_time_s == result.summary.mean_response_time_s
 
 
+class TestTrailingSettlement:
+    def test_fixed_arrivals_cover_exactly_count_times_interval(self, system):
+        """With fixed arrivals the trailing charge completes the duration to
+        ``count * interarrival`` exactly."""
+        spec = WorkloadSpec(query_count=50, interarrival_s=4.0, seed=1)
+        workload = WorkloadGenerator(spec).generate()
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        assert result.summary.duration_s == pytest.approx(50 * 4.0)
+
+    def test_simultaneous_final_arrivals_do_not_charge_a_stale_gap(self, system):
+        """Regression: the old heuristic fell back to the previous positive
+        gap when the final arrivals were simultaneous, charging a stale
+        interval; the settlement event charges the empirical mean gap, so
+        the duration is exactly ``count * mean interarrival``."""
+        from repro.workload.arrival import TraceArrival
+
+        trace = TraceArrival([0.0, 5.0, 10.0, 10.0])
+        spec = WorkloadSpec(query_count=4, interarrival_s=5.0, seed=2)
+        workload = WorkloadGenerator(spec, arrival_process=trace).generate()
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        # span = 10 s over 3 gaps -> trailing charge 10/3 s, total 40/3 s
+        # (the old code charged 5 s for a 15 s total).
+        assert result.summary.duration_s == pytest.approx(4 * (10.0 / 3.0))
+
+    def test_single_query_has_no_trailing_charge(self, system):
+        spec = WorkloadSpec(query_count=1, interarrival_s=5.0, seed=2)
+        workload = WorkloadGenerator(spec).generate()
+        result = CloudSimulation(system.scheme("bypass")).run(workload)
+        assert result.summary.duration_s == 0.0
+        assert result.summary.maintenance_dollars == 0.0
+
+    def test_trailing_settlement_can_be_disabled(self, system, workload):
+        result = CloudSimulation(
+            system.scheme("bypass"),
+            SimulationConfig(trailing_settlement=False),
+        ).run(workload)
+        span = workload[-1].arrival_time - workload[0].arrival_time
+        assert result.summary.duration_s == pytest.approx(span)
+
+
 class TestRunSchemeHelper:
     def test_run_scheme_wraps_the_simulation(self, system, workload):
         result = run_scheme(system.scheme("econ-col"), workload, warmup_queries=10)

@@ -1,0 +1,161 @@
+"""Tests for the scenario-diverse arrival processes and the registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrival import PhaseChange
+from repro.workload.scenarios import (
+    SCENARIO_NAMES,
+    BurstyArrival,
+    DiurnalArrival,
+    PhaseShiftArrival,
+    build_scenario,
+    drifting_mix_workload,
+)
+from repro.workload.generator import WorkloadSpec
+from repro.workload.templates import paper_templates
+
+
+def assert_non_decreasing(times):
+    assert all(later >= earlier for earlier, later in zip(times, times[1:]))
+
+
+class TestBurstyArrival:
+    def test_burst_shape(self):
+        process = BurstyArrival(burst_size=3, burst_interval_s=1.0, idle_gap_s=10.0)
+        times = process.arrival_times(7)
+        assert times == [0.0, 1.0, 2.0, 12.0, 13.0, 14.0, 24.0]
+
+    def test_mean_interarrival(self):
+        process = BurstyArrival(burst_size=4, burst_interval_s=2.0, idle_gap_s=14.0)
+        # One cycle: 3 gaps of 2 s + one 14 s gap over 4 queries.
+        assert process.mean_interarrival == pytest.approx(5.0)
+
+    def test_phase_changes_mark_burst_starts(self):
+        process = BurstyArrival(burst_size=3, burst_interval_s=1.0, idle_gap_s=10.0)
+        changes = process.phase_changes(7)
+        assert [change.time_s for change in changes] == [12.0, 24.0]
+        assert all(change.label == "burst-start" for change in changes)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            BurstyArrival(burst_size=0, burst_interval_s=1.0, idle_gap_s=1.0)
+        with pytest.raises(WorkloadError):
+            BurstyArrival(burst_size=2, burst_interval_s=-1.0, idle_gap_s=1.0)
+
+
+class TestDiurnalArrival:
+    def test_times_are_non_decreasing_and_deterministic(self):
+        process = DiurnalArrival(mean_interval=5.0, period_s=100.0)
+        first = process.arrival_times(50)
+        second = process.arrival_times(50)
+        assert first == second
+        assert_non_decreasing(first)
+
+    def test_rate_actually_oscillates(self):
+        process = DiurnalArrival(mean_interval=10.0, period_s=200.0, amplitude=0.9)
+        times = process.arrival_times(40)
+        gaps = [later - earlier for earlier, later in zip(times, times[1:])]
+        assert min(gaps) < 10.0 < max(gaps)
+
+    def test_seeded_variant_is_stochastic_but_reproducible(self):
+        seeded = DiurnalArrival(mean_interval=5.0, period_s=100.0, seed=3)
+        assert seeded.arrival_times(30) == seeded.arrival_times(30)
+        assert seeded.arrival_times(30) != DiurnalArrival(
+            mean_interval=5.0, period_s=100.0).arrival_times(30)
+
+    def test_phase_changes_every_half_period(self):
+        process = DiurnalArrival(mean_interval=1.0, period_s=20.0, amplitude=0.5)
+        changes = process.phase_changes(100)
+        assert changes
+        assert [change.time_s for change in changes[:3]] == [10.0, 20.0, 30.0]
+        assert changes[0].label == "falling"
+        assert changes[1].label == "rising"
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(WorkloadError):
+            DiurnalArrival(mean_interval=1.0, period_s=10.0, amplitude=1.0)
+
+
+class TestPhaseShiftArrival:
+    def test_piecewise_gaps(self):
+        process = PhaseShiftArrival(intervals_s=(1.0, 5.0), queries_per_phase=2)
+        times = process.arrival_times(6)
+        # Queries 0-1 in the 1 s phase, 2-3 in the 5 s phase, 4-5 back to 1 s.
+        assert times == [0.0, 1.0, 6.0, 11.0, 12.0, 13.0]
+
+    def test_phase_changes_at_each_shift(self):
+        process = PhaseShiftArrival(intervals_s=(1.0, 5.0), queries_per_phase=2)
+        changes = process.phase_changes(6)
+        assert [change.phase_index for change in changes] == [1, 2]
+        assert_non_decreasing([change.time_s for change in changes])
+
+    def test_mean_interarrival(self):
+        process = PhaseShiftArrival(intervals_s=(2.0, 6.0), queries_per_phase=3)
+        assert process.mean_interarrival == pytest.approx(4.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhaseShiftArrival(intervals_s=(), queries_per_phase=1)
+        with pytest.raises(WorkloadError):
+            PhaseShiftArrival(intervals_s=(1.0,), queries_per_phase=0)
+
+
+class TestDriftingMix:
+    def test_phases_draw_from_their_pools(self):
+        names = [template.name for template in paper_templates()]
+        spec = WorkloadSpec(query_count=60, interarrival_s=1.0, seed=5)
+        queries, changes = drifting_mix_workload(
+            spec, [names[:2], names[2:4]])
+        assert len(queries) == 60
+        first, second = queries[:30], queries[30:]
+        assert {query.template_name for query in first} <= set(names[:2])
+        assert {query.template_name for query in second} <= set(names[2:4])
+        assert len(changes) == 1
+        assert changes[0].time_s == second[0].arrival_time
+
+    def test_ids_and_times_stay_globally_ordered(self):
+        names = [template.name for template in paper_templates()]
+        spec = WorkloadSpec(query_count=45, interarrival_s=2.0, seed=5)
+        queries, _ = drifting_mix_workload(spec, [names[:3], names[3:5], names[5:]])
+        assert [query.query_id for query in queries] == list(range(45))
+        assert_non_decreasing([query.arrival_time for query in queries])
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            drifting_mix_workload(WorkloadSpec(query_count=10), [])
+
+
+class TestScenarioRegistry:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_every_scenario_generates_a_valid_workload(self, name):
+        scenario = build_scenario(name, query_count=40, interarrival_s=2.0, seed=1)
+        assert scenario.query_count == 40
+        assert [query.query_id for query in scenario.queries] == list(range(40))
+        assert_non_decreasing([query.arrival_time for query in scenario.queries])
+        assert all(isinstance(change, PhaseChange)
+                   for change in scenario.phase_changes)
+        assert_non_decreasing([change.time_s for change in scenario.phase_changes])
+
+    def test_non_stationary_scenarios_announce_phases(self):
+        for name in ("bursty", "phase-shift", "mix-drift"):
+            scenario = build_scenario(name, query_count=60, interarrival_s=2.0)
+            assert scenario.phase_changes, name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_scenario("tsunami")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_scenario("fixed", query_count=0)
+        with pytest.raises(WorkloadError):
+            build_scenario("fixed", interarrival_s=0.0)
+
+    def test_scenario_runs_through_the_kernel(self, system):
+        from repro.simulator.simulation import CloudSimulation
+
+        scenario = build_scenario("bursty", query_count=30, interarrival_s=2.0)
+        result = CloudSimulation(system.scheme("bypass")).run(
+            scenario.queries, phase_changes=scenario.phase_changes)
+        assert result.summary.query_count == 30
