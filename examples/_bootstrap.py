@@ -1,0 +1,22 @@
+"""Make ``src/`` importable when an example runs as a plain script.
+
+Every example starts with ``import _bootstrap`` so that
+
+    python examples/quickstart.py
+
+works from any directory, with or without an installed package and
+without exporting ``PYTHONPATH``. Python puts the script's directory on
+``sys.path``, which is how this module is found. ``src/`` is prepended,
+so the checkout next to the examples deliberately shadows any installed
+``repro`` package — the examples always exercise the code they ship with.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+)
+_SRC = os.path.abspath(_SRC)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

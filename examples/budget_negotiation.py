@@ -11,6 +11,8 @@ case A, B and C — by varying how much the user is willing to pay.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable as a script)
+
 from repro import CloudSystem, WorkloadGenerator, WorkloadSpec
 from repro.economy.budget import ConcaveBudget, ConvexBudget, StepBudget
 from repro.economy.negotiation import PlanSelection, negotiate

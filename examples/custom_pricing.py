@@ -13,6 +13,8 @@ disks — and shows how the economy's investments shift with the prices.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable as a script)
+
 from repro import CloudSystem, CloudSystemConfig, WorkloadGenerator, WorkloadSpec
 from repro.costmodel.config import CostModelConfig
 from repro.pricing.catalog import ec2_2009_pricing, free_network_pricing

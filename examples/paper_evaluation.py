@@ -12,6 +12,8 @@ the paper-versus-measured headline table of Section VII-B.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable as a script)
+
 import argparse
 
 from repro.experiments import (

@@ -12,6 +12,8 @@ built, what it spent, and how fast queries came back.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable as a script)
+
 from repro import CloudSystem, WorkloadGenerator, WorkloadSpec, run_scheme
 
 

@@ -12,6 +12,8 @@ scheme's cost and response time degrade as locality disappears.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable as a script)
+
 from repro import CloudSystem, WorkloadGenerator, WorkloadSpec, run_scheme
 
 

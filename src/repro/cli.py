@@ -7,13 +7,16 @@ Exposes the experiment drivers without writing any Python::
     python -m repro.cli headline
     python -m repro.cli ablation regret
     python -m repro.cli scenario --arrival diurnal --scheme econ-cheap
+    python -m repro.cli tenants --n-tenants 100 --jobs 4
     python -m repro.cli describe
 
 Every subcommand prints a plain-text table to stdout. ``--jobs N`` fans
-the (scheme x interval) grid cells out over N worker processes; the
-table is byte-identical to the sequential run. ``scenario`` replays any
-scheme under one of the scenario-diverse arrival regimes through the
-event kernel.
+independent cells out over N worker processes (grid cells for the figure
+commands, scheme cells for ``tenants``); the tables are byte-identical
+to the sequential run. ``scenario`` replays any scheme under one of the
+scenario-diverse arrival regimes through the event kernel; ``tenants``
+runs schemes over a Zipf-skewed, churning N-tenant population and
+reports per-tenant credit/hit-rate aggregates.
 """
 
 from __future__ import annotations
@@ -42,6 +45,12 @@ from repro.experiments.figure5 import figure5_table
 from repro.experiments.headline import headline_table
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_grid
+from repro.experiments.tenants import (
+    TenantExperimentConfig,
+    run_tenant_experiment,
+    tenant_aggregate_table,
+    top_tenant_table,
+)
 from repro.policies.factory import SCHEME_NAMES
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
@@ -111,6 +120,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fire a scheduled structure-failure check every "
                                "S simulated seconds")
 
+    tenants = subparsers.add_parser(
+        "tenants",
+        help="run schemes over a Zipf-skewed N-tenant population")
+    tenants.add_argument("--n-tenants", type=int, default=100, metavar="N",
+                         help="tenants active at any one time (default: 100)")
+    tenants.add_argument("--schemes", default="econ-cheap", metavar="LIST",
+                         help="comma-separated scheme names, or 'all' "
+                              "(default: econ-cheap)")
+    tenants.add_argument("--queries", type=int, default=400,
+                         help="queries to simulate (default: 400)")
+    tenants.add_argument("--interarrival", type=float, default=10.0,
+                         help="mean inter-arrival time in seconds (default: 10)")
+    tenants.add_argument("--seed", type=int, default=0,
+                         help="workload/population seed (default: 0)")
+    tenants.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                         help="Zipf exponent of tenant activity (default: 1.1; "
+                              "0 = uniform)")
+    tenants.add_argument("--initial-credit", type=float, default=50.0,
+                         metavar="D",
+                         help="seed credit of every tenant wallet (default: 50)")
+    tenants.add_argument("--budget-sigma", type=float, default=0.0,
+                         metavar="SIGMA",
+                         help="lognormal sigma of per-tenant budget "
+                              "multipliers (default: 0, uniform budgets)")
+    tenants.add_argument("--churn-period", type=int, default=0, metavar="Q",
+                         help="replace part of the population every Q queries "
+                              "(default: 0, no churn)")
+    tenants.add_argument("--churn-fraction", type=float, default=0.1,
+                         metavar="F",
+                         help="fraction of tenants replaced per churn wave "
+                              "(default: 0.1)")
+    tenants.add_argument("--top", type=int, default=10, metavar="K",
+                         help="busiest tenants to list individually "
+                              "(default: 10)")
+    tenants.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the scheme cells "
+                              "(default: 1, sequential)")
+
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
 
@@ -167,6 +214,36 @@ def _scenario_command(args: argparse.Namespace) -> str:
     return format_table(headers, rows, title=title)
 
 
+def _tenants_command(args: argparse.Namespace) -> str:
+    names = (list(SCHEME_NAMES) if args.schemes == "all"
+             else [name.strip() for name in args.schemes.split(",")
+                   if name.strip()])
+    if not names:
+        raise ReproError("--schemes selects no scheme")
+    configs = [
+        TenantExperimentConfig(
+            scheme=name,
+            tenant_count=args.n_tenants,
+            query_count=args.queries,
+            interarrival_s=args.interarrival,
+            seed=args.seed,
+            zipf_exponent=args.zipf,
+            initial_credit=args.initial_credit,
+            budget_sigma=args.budget_sigma,
+            churn_period=args.churn_period,
+            churn_fraction=args.churn_fraction,
+        )
+        for name in names
+    ]
+    results = run_tenant_experiment(configs, jobs=args.jobs)
+    sections: List[str] = []
+    for result in results:
+        sections.append(tenant_aggregate_table(result))
+        if args.top > 0:
+            sections.append(top_tenant_table(result, limit=args.top))
+    return "\n\n".join(sections)
+
+
 def _describe_command() -> str:
     system = CloudSystem()
     lines = [system.schema.describe(), ""]
@@ -190,6 +267,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _ablation_command(args.which, args.queries)
         elif args.command == "scenario":
             output = _scenario_command(args)
+        elif args.command == "tenants":
+            output = _tenants_command(args)
         else:
             output = _describe_command()
     except ReproError as error:

@@ -20,6 +20,12 @@ from repro.economy.investment import InvestmentDecision, InvestmentPolicy
 from repro.economy.pricing import PlanPricer, PricedPlan
 from repro.economy.negotiation import NegotiationCase, NegotiationResult, negotiate
 from repro.economy.user_model import UserModel
+from repro.economy.tenancy import (
+    DEFAULT_TENANT_ID,
+    TenantProfile,
+    TenantRegistry,
+    TenantState,
+)
 from repro.economy.engine import EconomyConfig, EconomyEngine, QueryOutcome
 
 __all__ = [
@@ -39,6 +45,10 @@ __all__ = [
     "NegotiationResult",
     "negotiate",
     "UserModel",
+    "DEFAULT_TENANT_ID",
+    "TenantProfile",
+    "TenantRegistry",
+    "TenantState",
     "EconomyConfig",
     "EconomyEngine",
     "QueryOutcome",

@@ -4,6 +4,15 @@ User payments for query services are deposited here; investments in new
 cache structures and maintenance losses are paid from here. The account
 keeps a full transaction ledger so experiments can report where the money
 went.
+
+Example:
+    >>> account = CloudAccount(initial_credit=10.0)
+    >>> account.deposit(5.0, time_s=1.0, category="query_payment")
+    >>> account.withdraw(3.0, time_s=2.0, category="structure_build")
+    >>> round(account.credit, 6)
+    12.0
+    >>> len(account.transactions)
+    3
 """
 
 from __future__ import annotations
@@ -25,7 +34,21 @@ class Transaction:
 
 
 class CloudAccount:
-    """Tracks the cloud credit ``CR`` and every deposit/withdrawal."""
+    """Tracks the cloud credit ``CR`` and every deposit/withdrawal.
+
+    Args:
+        initial_credit: seed working capital; booked as a ``seed_capital``
+            ledger entry when non-zero.
+        allow_negative: permit withdrawals past zero (used for tenant
+            wallets, which go into debt instead of dropping charges).
+
+    Example:
+        >>> account = CloudAccount(initial_credit=2.0)
+        >>> account.can_afford(3.0)
+        False
+        >>> CloudAccount(initial_credit=2.0, allow_negative=True).can_afford(3.0)
+        True
+    """
 
     #: Ledger categories used by the engine; free-form strings are allowed
     #: but these are the ones reports aggregate on.
@@ -63,7 +86,20 @@ class CloudAccount:
 
     def deposit(self, amount: float, time_s: float, category: str,
                 note: str = "") -> None:
-        """Add money to the account (user payments, recovered maintenance)."""
+        """Add money to the account (user payments, recovered maintenance).
+
+        Args:
+            amount: the (non-negative) amount to credit.
+            time_s: simulated instant of the deposit.
+            category: ledger category (see the ``CATEGORY_*`` constants).
+            note: free-form ledger note.
+
+        Example:
+            >>> account = CloudAccount()
+            >>> account.deposit(1.5, time_s=0.0, category="query_payment")
+            >>> account.credit
+            1.5
+        """
         if amount < 0:
             raise EconomyError(f"deposit amount must be non-negative, got {amount}")
         self._credit += amount
@@ -75,8 +111,22 @@ class CloudAccount:
                  note: str = "") -> None:
         """Spend money (structure builds, execution costs, maintenance losses).
 
-        Raises :class:`InsufficientCreditError` if the account would go
-        negative and the account was created with ``allow_negative=False``.
+        Args:
+            amount: the (non-negative) amount to debit.
+            time_s: simulated instant of the withdrawal.
+            category: ledger category (see the ``CATEGORY_*`` constants).
+            note: free-form ledger note.
+
+        Raises:
+            InsufficientCreditError: if the account would go negative and
+                was created with ``allow_negative=False``.
+
+        Example:
+            >>> account = CloudAccount(initial_credit=1.0)
+            >>> account.withdraw(2.0, time_s=0.0, category="structure_build")
+            Traceback (most recent call last):
+                ...
+            repro.errors.InsufficientCreditError: cannot withdraw 2.0000: credit is 1.0000
         """
         if amount < 0:
             raise EconomyError(f"withdraw amount must be non-negative, got {amount}")
@@ -96,7 +146,19 @@ class CloudAccount:
         return amount <= self._credit + 1e-12
 
     def totals_by_category(self) -> Dict[str, float]:
-        """Signed totals per ledger category."""
+        """Signed totals per ledger category.
+
+        Returns:
+            ``category -> signed total`` over the full ledger.
+
+        Example:
+            >>> account = CloudAccount()
+            >>> account.deposit(4.0, 0.0, "query_payment")
+            >>> account.withdraw(1.0, 1.0, "execution_cost")
+            >>> account.totals_by_category() == {
+            ...     "query_payment": 4.0, "execution_cost": -1.0}
+            True
+        """
         totals: Dict[str, float] = {}
         for transaction in self._transactions:
             totals[transaction.category] = (

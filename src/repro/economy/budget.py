@@ -17,7 +17,18 @@ from repro.errors import BudgetFunctionError
 
 
 class BudgetFunction(abc.ABC):
-    """A non-increasing willingness-to-pay curve over response time."""
+    """A non-increasing willingness-to-pay curve over response time.
+
+    Args:
+        max_time_s: ``tmax``; the function is worth nothing beyond it.
+
+    Example:
+        >>> budget = StepBudget(amount=4.0, max_time_s=10.0)
+        >>> budget.value(5.0), budget.value(11.0)
+        (4.0, 0.0)
+        >>> budget.accepts(response_time_s=5.0, price=3.5)
+        True
+    """
 
     def __init__(self, max_time_s: float) -> None:
         if max_time_s <= 0:
@@ -34,8 +45,19 @@ class BudgetFunction(abc.ABC):
     def value(self, response_time_s: float) -> float:
         """The price the user is willing to pay at ``response_time_s``.
 
-        Returns 0 for response times beyond ``tmax`` (the user would not
-        accept the service at all), and raises for non-positive times.
+        Args:
+            response_time_s: the (positive) response time offered.
+
+        Returns:
+            The willingness-to-pay; 0 beyond ``tmax`` (the user would not
+            accept the service at all).
+
+        Raises:
+            BudgetFunctionError: for non-positive response times.
+
+        Example:
+            >>> ConvexBudget(amount=8.0, max_time_s=4.0).value(2.0)
+            2.0
         """
         if response_time_s <= 0:
             raise BudgetFunctionError(
@@ -46,7 +68,19 @@ class BudgetFunction(abc.ABC):
         return self._value_within_range(response_time_s)
 
     def accepts(self, response_time_s: float, price: float) -> bool:
-        """Whether the user would pay ``price`` for this response time."""
+        """Whether the user would pay ``price`` for this response time.
+
+        Args:
+            response_time_s: the response time offered.
+            price: the price asked.
+
+        Returns:
+            ``True`` iff ``price <= B(response_time_s)``.
+
+        Example:
+            >>> StepBudget(amount=2.0, max_time_s=1.0).accepts(0.5, 2.5)
+            False
+        """
         return price <= self.value(response_time_s)
 
     @abc.abstractmethod
@@ -59,7 +93,12 @@ class BudgetFunction(abc.ABC):
 
 
 class StepBudget(BudgetFunction):
-    """Figure 1(a): a flat budget ``|a|`` up to ``tmax`` (the paper's user model)."""
+    """Figure 1(a): a flat budget ``|a|`` up to ``tmax`` (the paper's user model).
+
+    Example:
+        >>> StepBudget(amount=3.0, max_time_s=2.0).scaled(2.0)
+        StepBudget(amount=6.0, max_time_s=2.0)
+    """
 
     def __init__(self, amount: float, max_time_s: float) -> None:
         super().__init__(max_time_s)
@@ -76,6 +115,7 @@ class StepBudget(BudgetFunction):
         return self._amount
 
     def scaled(self, factor: float) -> "StepBudget":
+        """A copy with the willingness-to-pay multiplied by ``factor``."""
         _validate_scale(factor)
         return StepBudget(self._amount * factor, self._max_time_s)
 
@@ -88,6 +128,10 @@ class ConvexBudget(BudgetFunction):
 
     ``B(t) = amount * (1 - t / tmax)^2`` — below the straight line between
     the endpoints, matching the convex bound given in the figure caption.
+
+    Example:
+        >>> ConvexBudget(amount=4.0, max_time_s=2.0).value(1.0)
+        1.0
     """
 
     def __init__(self, amount: float, max_time_s: float) -> None:
@@ -106,6 +150,7 @@ class ConvexBudget(BudgetFunction):
         return self._amount * remaining * remaining
 
     def scaled(self, factor: float) -> "ConvexBudget":
+        """A copy with the willingness-to-pay multiplied by ``factor``."""
         _validate_scale(factor)
         return ConvexBudget(self._amount * factor, self._max_time_s)
 
@@ -118,6 +163,10 @@ class ConcaveBudget(BudgetFunction):
 
     ``B(t) = amount * (1 - (t / tmax)^2)`` — above the straight line between
     the endpoints, matching the concave bound given in the figure caption.
+
+    Example:
+        >>> ConcaveBudget(amount=4.0, max_time_s=2.0).value(1.0)
+        3.0
     """
 
     def __init__(self, amount: float, max_time_s: float) -> None:
@@ -136,6 +185,7 @@ class ConcaveBudget(BudgetFunction):
         return self._amount * (1.0 - fraction * fraction)
 
     def scaled(self, factor: float) -> "ConcaveBudget":
+        """A copy with the willingness-to-pay multiplied by ``factor``."""
         _validate_scale(factor)
         return ConcaveBudget(self._amount * factor, self._max_time_s)
 
@@ -149,7 +199,18 @@ def validate_descending(function: BudgetFunction,
 
     The contract is sampled on a grid (or on the provided ``sample_times``)
     because arbitrary user-supplied budget functions cannot be checked
-    symbolically. Raises :class:`BudgetFunctionError` on a violation.
+    symbolically.
+
+    Args:
+        function: the budget function to check.
+        sample_times: optional explicit sample instants; defaults to a
+            32-point grid over ``(0, tmax]``.
+
+    Raises:
+        BudgetFunctionError: on a violation.
+
+    Example:
+        >>> validate_descending(StepBudget(amount=1.0, max_time_s=5.0))
     """
     if sample_times is None:
         steps = 32

@@ -40,6 +40,7 @@ from repro.economy.negotiation import (
 )
 from repro.economy.pricing import PlanPricer, PricedPlan
 from repro.economy.regret import RegretTracker
+from repro.economy.tenancy import TenantRegistry
 from repro.economy.user_model import UserModel
 from repro.errors import ConfigurationError, PlanningError
 from repro.planner.enumerator import PlanEnumerator
@@ -72,6 +73,14 @@ class EconomyConfig:
         regret_pool_capacity: LRU bound on the number of structures tracked
             by the regret array (Section IV-B).
         user_model: how budget functions are derived for incoming queries.
+
+    Example:
+        >>> EconomyConfig().regret_fraction == 0.01
+        True
+        >>> EconomyConfig(amortization_horizon=0)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigurationError: amortization_horizon must be positive
     """
 
     regret_fraction: float = constants.DEFAULT_REGRET_FRACTION
@@ -108,7 +117,13 @@ class StructureBuild:
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """Everything the simulator needs to know about one processed query."""
+    """Everything the simulator needs to know about one processed query.
+
+    ``uncovered_costs`` surfaces withdrawals the account could not fully
+    honour: each entry is a ``(ledger category, shortfall)`` pair for a
+    payment that was capped at the available credit. An empty tuple means
+    every cost of the query was paid in full.
+    """
 
     query: Query
     case: NegotiationCase
@@ -129,6 +144,13 @@ class QueryOutcome:
     evictions: Tuple[EvictionRecord, ...]
     eviction_losses: float
     credit_after: float
+    tenant_id: str = "default"
+    uncovered_costs: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def uncovered_total(self) -> float:
+        """Total dollars of withdrawals the credit could not cover."""
+        return sum(amount for _, amount in self.uncovered_costs)
 
 
 class EconomyEngine:
@@ -138,7 +160,8 @@ class EconomyEngine:
                  structure_costs: StructureCostModel,
                  cache: Optional[CacheManager] = None,
                  config: EconomyConfig = EconomyConfig(),
-                 amortization: Optional[AmortizationPolicy] = None) -> None:
+                 amortization: Optional[AmortizationPolicy] = None,
+                 tenants: Optional[TenantRegistry] = None) -> None:
         self._enumerator = enumerator
         self._structure_costs = structure_costs
         self._cache = cache if cache is not None else CacheManager(CacheConfig())
@@ -153,7 +176,9 @@ class EconomyEngine:
             regret_fraction=config.regret_fraction,
             require_affordable=config.require_affordable_build,
         )
+        self._tenants = tenants
         self._outcomes: List[QueryOutcome] = []
+        self._uncovered: List[Tuple[str, float]] = []
 
     # -- accessors -----------------------------------------------------------------
 
@@ -178,6 +203,11 @@ class EconomyEngine:
         return self._regret
 
     @property
+    def tenants(self) -> Optional[TenantRegistry]:
+        """The tenant registry, or ``None`` for the single-tenant engine."""
+        return self._tenants
+
+    @property
     def outcomes(self) -> Tuple[QueryOutcome, ...]:
         """Outcomes of every processed query, in processing order."""
         return tuple(self._outcomes)
@@ -193,6 +223,7 @@ class EconomyEngine:
                       now: Optional[float] = None) -> QueryOutcome:
         """Run one query through the economy and return its outcome."""
         time_s = query.arrival_time if now is None else now
+        self._uncovered = []
 
         evictions = tuple(self._cache.evict_failed_structures(time_s))
         eviction_losses = sum(
@@ -211,7 +242,7 @@ class EconomyEngine:
         result = negotiate(budget, skyline, self._config.plan_selection)
 
         maintenance_recovered = self._settle_chosen_plan(query, result, time_s)
-        self._distribute_regret(result)
+        self._distribute_regret(query, result)
         builds, build_spend = self._consider_investments(query, time_s)
 
         outcome = self._build_outcome(
@@ -261,6 +292,11 @@ class EconomyEngine:
                 key=lambda plan: plan.price,
                 default=priced[0],
             )
+        if self._tenants is not None:
+            return self._tenants.budget_for(
+                query, reference.price, reference.response_time_s,
+                default_model=self._config.user_model,
+            )
         return self._config.user_model.budget_for(
             query, reference.price, reference.response_time_s
         )
@@ -272,6 +308,12 @@ class EconomyEngine:
         account = self._account
         account.deposit(result.charge, now, CloudAccount.CATEGORY_QUERY_PAYMENT,
                         note=f"query {query.query_id} ({chosen.label})")
+        if self._tenants is not None:
+            # Mirror transaction: the payment the provider just banked is
+            # withdrawn from the issuing tenant's wallet (and only theirs),
+            # so the registry's books balance against the provider's.
+            self._tenants.charge(query.tenant_id, result.charge, now,
+                                 note=f"query {query.query_id} ({chosen.label})")
         execution_cost = chosen.execution_dollars
         self._safe_withdraw(execution_cost, now,
                             CloudAccount.CATEGORY_EXECUTION_COST,
@@ -290,7 +332,8 @@ class EconomyEngine:
                     self._cache.record_amortized_recovery(key, recovered)
         return maintenance_recovered
 
-    def _distribute_regret(self, result: NegotiationResult) -> None:
+    def _distribute_regret(self, query: Query,
+                           result: NegotiationResult) -> None:
         """Spread each non-chosen plan's regret over its missing structures."""
         built_keys = self._cache.built_keys
         for plan, regret in result.regrets:
@@ -299,6 +342,9 @@ class EconomyEngine:
                 continue
             self._regret.distribute(missing, regret,
                                     divide=self._config.divide_regret)
+            if self._tenants is not None:
+                self._tenants.record_regret(query.tenant_id, missing, regret,
+                                            divide=self._config.divide_regret)
 
     def _consider_investments(self, query: Query,
                               now: float) -> Tuple[Tuple[StructureBuild, ...], float]:
@@ -379,6 +425,8 @@ class EconomyEngine:
                 now=now,
             )
             self._regret.reset(piece.key)
+            if self._tenants is not None:
+                self._tenants.reset_regret(piece.key)
             builds.append(StructureBuild(
                 key=piece.key,
                 kind=piece.kind,
@@ -389,14 +437,33 @@ class EconomyEngine:
         return builds
 
     def _safe_withdraw(self, amount: float, now: float, category: str,
-                       note: str = "") -> None:
-        """Withdraw, capping at the available credit (losses beyond it are
-        still reflected in the metrics through the outcome records)."""
+                       note: str = "") -> float:
+        """Withdraw, capping at the available credit.
+
+        Any shortfall — the part of ``amount`` the credit could not cover —
+        used to be dropped silently; it is now recorded per category and
+        surfaced on the query's :class:`QueryOutcome` as ``uncovered_costs``,
+        so reports can see exactly which payments were capped.
+
+        Args:
+            amount: the payment due.
+            now: simulated instant of the withdrawal.
+            category: ledger category of the payment.
+            note: free-form ledger note.
+
+        Returns:
+            The shortfall (0.0 when the payment was covered in full).
+        """
         if amount <= 0:
-            return
+            return 0.0
         affordable = min(amount, max(0.0, self._account.credit))
         if affordable > 0:
             self._account.withdraw(affordable, now, category, note=note)
+        shortfall = amount - affordable
+        if shortfall > 1e-12:
+            self._uncovered.append((category, shortfall))
+            return shortfall
+        return 0.0
 
     def _build_outcome(self, query: Query, result: NegotiationResult, now: float,
                        maintenance_recovered: float,
@@ -425,4 +492,6 @@ class EconomyEngine:
             evictions=evictions,
             eviction_losses=eviction_losses,
             credit_after=self._account.credit,
+            tenant_id=query.tenant_id,
+            uncovered_costs=tuple(self._uncovered),
         )

@@ -39,7 +39,22 @@ class InvestmentDecision:
 
 
 class InvestmentPolicy:
-    """Evaluates the regret array against the credit and decides what to build."""
+    """Evaluates the regret array against the credit and decides what to build.
+
+    Args:
+        regret_fraction: ``a`` of Eq. 3, in (0, 1).
+        require_affordable: the conservative-provider rule — only build when
+            the account can pay the full build cost.
+        minimum_credit: credit below which the invest score is reported as 0
+            (guards the division in Eq. 3).
+
+    Example:
+        >>> policy = InvestmentPolicy(regret_fraction=0.1)
+        >>> policy.invest_score(regret=5.0, credit=10.0)   # 5 / (0.1 * 10)
+        5
+        >>> policy.invest_score(regret=0.4, credit=10.0)
+        0
+    """
 
     def __init__(self, regret_fraction: float = constants.DEFAULT_REGRET_FRACTION,
                  require_affordable: bool = True,
@@ -64,6 +79,13 @@ class InvestmentPolicy:
 
         With no credit the cloud has nothing to invest, so rather than
         dividing by zero the score is reported as 0.
+
+        Args:
+            regret: the structure's accumulated regret.
+            credit: the current cloud credit ``CR``.
+
+        Returns:
+            ``round(regret / (a * CR))`` as an int (>= 1 means "build").
         """
         if regret < 0:
             raise ConfigurationError(f"regret must be non-negative, got {regret}")
@@ -73,7 +95,26 @@ class InvestmentPolicy:
 
     def evaluate(self, structure: CacheStructure, regret: float,
                  build_cost: float, account: CloudAccount) -> InvestmentDecision:
-        """Evaluate one structure for investment."""
+        """Evaluate one structure for investment.
+
+        Args:
+            structure: the candidate structure.
+            regret: its accumulated regret.
+            build_cost: its estimated build cost.
+            account: the cloud account providing ``CR``.
+
+        Returns:
+            The :class:`InvestmentDecision` (check ``should_build``).
+
+        Example:
+            >>> from repro.structures.cached_column import CachedColumn
+            >>> policy = InvestmentPolicy(regret_fraction=0.1)
+            >>> decision = policy.evaluate(
+            ...     CachedColumn("lineitem", "l_quantity"), regret=5.0,
+            ...     build_cost=2.0, account=CloudAccount(initial_credit=10.0))
+            >>> decision.invest_score, decision.affordable, decision.should_build
+            (5, True, True)
+        """
         score = self.invest_score(regret, account.credit)
         affordable = (not self._require_affordable) or account.can_afford(build_cost)
         return InvestmentDecision(

@@ -78,9 +78,42 @@ def negotiate(budget: BudgetFunction, priced_plans: Sequence[PricedPlan],
             least one existing plan.
         selection: tie-breaking policy among affordable existing plans.
 
+    Returns:
+        The :class:`NegotiationResult` — which case held, the chosen plan,
+        the user charge, the cloud profit, and the per-plan regrets.
+
     Raises:
         PlanningError: if ``priced_plans`` contains no existing plan (the
             back-end plan should always be offered).
+
+    Example:
+        Two existing back-end-style plans against a flat $10 budget; the
+        default MIN_PROFIT selection picks the plan on which the cloud
+        earns least (the $6 one), charges the budget, and banks the gap:
+
+        >>> from repro.costmodel.execution import ExecutionEstimate
+        >>> from repro.economy.budget import StepBudget
+        >>> from repro.economy.pricing import PricedPlan
+        >>> from repro.planner.plan import PlanKind, QueryPlan
+        >>> from repro.workload.query import Query
+        >>> query = Query(query_id=0, template_name="t", table_name="lineitem",
+        ...               predicates=(), projection_columns=("l_quantity",))
+        >>> def priced(price, time_s):
+        ...     estimate = ExecutionEstimate(
+        ...         cost_units=1.0, io_operations=0.0, cpu_seconds=1.0,
+        ...         network_bytes=0.0, response_time_s=time_s,
+        ...         cpu_dollars=price, io_dollars=0.0, network_dollars=0.0)
+        ...     plan = QueryPlan(query=query, kind=PlanKind.BACKEND,
+        ...                      execution=estimate)
+        ...     return PricedPlan(plan=plan, execution_dollars=price,
+        ...                       amortized_dollars=0.0,
+        ...                       maintenance_dollars=0.0, new_structures=(),
+        ...                       amortized_by_structure={})
+        >>> result = negotiate(StepBudget(amount=10.0, max_time_s=60.0),
+        ...                    [priced(4.0, 30.0), priced(6.0, 10.0)])
+        >>> (result.case.value, result.chosen.price, result.charge,
+        ...  result.profit)
+        ('B', 6.0, 10.0, 4.0)
     """
     existing = [plan for plan in priced_plans if plan.is_existing]
     possible = [plan for plan in priced_plans if not plan.is_existing]

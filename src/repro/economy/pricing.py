@@ -33,6 +33,25 @@ class PricedPlan:
     would make a structure ever more expensive to use the longer it sits
     idle, a self-reinforcing spiral that locks the cache out at long
     inter-arrival times (the economy then never recovers the dues at all).
+
+    Example:
+        >>> from repro.costmodel.execution import ExecutionEstimate
+        >>> from repro.planner.plan import PlanKind, QueryPlan
+        >>> from repro.workload.query import Query
+        >>> query = Query(query_id=0, template_name="t", table_name="lineitem",
+        ...               predicates=(), projection_columns=("l_quantity",))
+        >>> estimate = ExecutionEstimate(
+        ...     cost_units=1.0, io_operations=0.0, cpu_seconds=1.0,
+        ...     network_bytes=0.0, response_time_s=3.0, cpu_dollars=2.0,
+        ...     io_dollars=0.0, network_dollars=0.0)
+        >>> priced = PricedPlan(
+        ...     plan=QueryPlan(query=query, kind=PlanKind.BACKEND,
+        ...                    execution=estimate),
+        ...     execution_dollars=2.0, amortized_dollars=0.5,
+        ...     maintenance_dollars=0.25, new_structures=(),
+        ...     amortized_by_structure={})
+        >>> priced.price, priced.is_existing, priced.response_time_s
+        (2.5, True, 3.0)
     """
 
     plan: QueryPlan
@@ -78,7 +97,17 @@ class PlanPricer:
 
     def price_plan(self, plan: QueryPlan, cache: CacheManager,
                    now: float) -> PricedPlan:
-        """Price a single plan against the cache state at time ``now``."""
+        """Price a single plan against the cache state at time ``now``.
+
+        Args:
+            plan: the plan to price.
+            cache: the cache whose built structures decide what is
+                existing versus possible.
+            now: pricing instant (drives accrued-maintenance dues).
+
+        Returns:
+            The plan's :class:`PricedPlan` breakdown.
+        """
         built_keys = cache.built_keys
         cached_column_keys = {
             key for key in built_keys if key.startswith("column:")

@@ -18,7 +18,25 @@ from repro.structures.base import CacheStructure
 
 
 class RegretTracker:
-    """Accumulates regret per structure key and supports LRU garbage collection."""
+    """Accumulates regret per structure key and supports LRU garbage collection.
+
+    Args:
+        pool_capacity: LRU bound on the number of tracked structures
+            (``None`` disables garbage collection).
+
+    Example:
+        >>> from repro.structures.cached_column import CachedColumn
+        >>> tracker = RegretTracker(pool_capacity=8)
+        >>> column = CachedColumn("lineitem", "l_quantity")
+        >>> tracker.add(column, 2.5)
+        >>> tracker.add(column, 1.5)
+        >>> tracker.value(column.key)
+        4.0
+        >>> tracker.reset(column.key)
+        4.0
+        >>> tracker.value(column.key)
+        0.0
+    """
 
     def __init__(self, pool_capacity: Optional[int] = 512) -> None:
         self._values: Dict[str, float] = {}
@@ -32,6 +50,10 @@ class RegretTracker:
 
         Negative amounts are rejected; zero amounts still refresh the
         structure's recency in the pool (it was relevant to a recent query).
+
+        Args:
+            structure: the missing structure the regret belongs to.
+            amount: the (non-negative) regret to add.
         """
         if amount < 0:
             raise EconomyError(f"regret must be non-negative, got {amount}")
@@ -52,6 +74,15 @@ class RegretTracker:
                 how we read "distributed uniformly to every physical
                 structure used by the plan"; if False every structure is
                 charged the full amount.
+
+        Example:
+            >>> from repro.structures.cached_column import CachedColumn
+            >>> tracker = RegretTracker()
+            >>> columns = [CachedColumn("orders", "o_custkey"),
+            ...            CachedColumn("orders", "o_totalprice")]
+            >>> tracker.distribute(columns, 6.0, divide=True)
+            >>> [tracker.value(column.key) for column in columns]
+            [3.0, 3.0]
         """
         if amount < 0:
             raise EconomyError(f"regret must be non-negative, got {amount}")

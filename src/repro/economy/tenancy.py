@@ -1,0 +1,342 @@
+"""Multi-tenant state: per-user accounts, budget policies, regret trackers.
+
+The paper prices cache structures against the budgets of the *users* issuing
+queries; this module gives each of those users (tenants) first-class state.
+A :class:`TenantRegistry` maps a tenant id to a :class:`TenantState`: the
+tenant's wallet (a :class:`~repro.economy.account.CloudAccount`), the budget
+policy their queries negotiate with, and a per-tenant
+:class:`~repro.economy.regret.RegretTracker` recording the regret the cloud
+accumulated specifically on that tenant's queries.
+
+The registry is deliberately *incremental*: every query updates only the
+state of the tenant that issued it, so a population of thousands of tenants
+costs no more per query than the single-tenant path. The single-tenant path
+itself is untouched — an engine constructed without a registry behaves
+byte-for-byte as before, and queries default to :data:`DEFAULT_TENANT_ID`.
+
+Money is conserved by construction: a tenant wallet only changes through its
+seed deposit and through :meth:`TenantRegistry.charge`, which moves exactly
+the amount the provider deposits on the other side of the transaction.
+
+Example::
+
+    >>> registry = TenantRegistry()
+    >>> state = registry.register(TenantProfile("alice", initial_credit=10.0))
+    >>> registry.charge("alice", 4.0, now=1.0, note="query 7")
+    >>> round(state.account.credit, 6)
+    6.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.economy.account import CloudAccount
+from repro.economy.budget import BudgetFunction
+from repro.economy.regret import RegretTracker
+from repro.economy.user_model import UserModel
+from repro.errors import EconomyError
+from repro.workload.query import Query
+
+#: Tenant id carried by queries that predate (or ignore) multi-tenancy.
+DEFAULT_TENANT_ID = "default"
+
+#: Ledger category for a tenant's query payments (mirror of the provider's
+#: ``CATEGORY_QUERY_PAYMENT`` deposit).
+CATEGORY_TENANT_CHARGE = "tenant_charge"
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """The static description of one tenant.
+
+    Attributes:
+        tenant_id: unique identifier (e.g. ``"t0042"``).
+        initial_credit: seed credit of the tenant's wallet.
+        budget_multiplier: scales every budget function the tenant submits
+            (>1 models a tenant willing to outbid the baseline user model).
+        user_model: optional per-tenant budget policy; when ``None`` the
+            engine's configured :class:`~repro.economy.user_model.UserModel`
+            is used.
+        joined_at_s: simulated instant the tenant joined the population.
+
+    Example:
+        >>> profile = TenantProfile("t0001", initial_credit=25.0)
+        >>> profile.budget_multiplier
+        1.0
+        >>> TenantProfile("", initial_credit=1.0)
+        Traceback (most recent call last):
+            ...
+        repro.errors.EconomyError: tenant_id must not be empty
+    """
+
+    tenant_id: str
+    initial_credit: float = 0.0
+    budget_multiplier: float = 1.0
+    user_model: Optional[UserModel] = None
+    joined_at_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise EconomyError("tenant_id must not be empty")
+        if self.initial_credit < 0:
+            raise EconomyError(
+                f"initial_credit must be non-negative, got {self.initial_credit}"
+            )
+        if self.budget_multiplier <= 0:
+            raise EconomyError(
+                f"budget_multiplier must be positive, got {self.budget_multiplier}"
+            )
+        if self.joined_at_s < 0:
+            raise EconomyError(
+                f"joined_at_s must be non-negative, got {self.joined_at_s}"
+            )
+
+
+class TenantState:
+    """The mutable per-tenant state the registry maintains.
+
+    Attributes:
+        profile: the tenant's static profile.
+        account: the tenant's wallet. Created with ``allow_negative=True``:
+            a tenant that keeps querying past their balance goes into debt
+            rather than silently dropping charges, so the registry's books
+            always balance against the provider's.
+        regret: regret the cloud accumulated on this tenant's queries only.
+
+    Example:
+        >>> state = TenantState(TenantProfile("bob", initial_credit=5.0))
+        >>> state.active, round(state.account.credit, 6), state.queries_processed
+        (True, 5.0, 0)
+    """
+
+    def __init__(self, profile: TenantProfile) -> None:
+        self.profile = profile
+        self.account = CloudAccount(
+            initial_credit=profile.initial_credit, allow_negative=True
+        )
+        self.regret = RegretTracker(pool_capacity=64)
+        self.active = True
+        self.activated_at_s = profile.joined_at_s
+        self.churned_at_s: Optional[float] = None
+        self.queries_processed = 0
+
+    @property
+    def tenant_id(self) -> str:
+        """The tenant's identifier (shorthand for ``profile.tenant_id``)."""
+        return self.profile.tenant_id
+
+
+class TenantRegistry:
+    """Holds every tenant's wallet, budget policy, and regret tracker.
+
+    The registry is the engine's window into the population: budgets are
+    built per tenant (:meth:`budget_for`), query charges are settled against
+    the issuing tenant's wallet (:meth:`charge`), and regret is recorded
+    both globally (by the engine) and per tenant (:meth:`record_regret`).
+
+    Example:
+        >>> registry = TenantRegistry()
+        >>> _ = registry.register(TenantProfile("alice", initial_credit=8.0))
+        >>> _ = registry.register(TenantProfile("bob", initial_credit=2.0))
+        >>> registry.charge("alice", 3.0, now=0.0)
+        >>> round(registry.total_credit(), 6)       # 8 + 2 - 3
+        7.0
+        >>> sorted(registry.active_ids())
+        ['alice', 'bob']
+        >>> _ = registry.deactivate("bob", now=5.0)
+        >>> registry.active_ids()
+        ['alice']
+    """
+
+    def __init__(self) -> None:
+        self._states: Dict[str, TenantState] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, profile: TenantProfile) -> TenantState:
+        """Add one tenant; re-registering an id is an error.
+
+        Args:
+            profile: the tenant's static description.
+
+        Returns:
+            The freshly created :class:`TenantState`.
+        """
+        if profile.tenant_id in self._states:
+            raise EconomyError(f"tenant {profile.tenant_id!r} already registered")
+        state = TenantState(profile)
+        self._states[profile.tenant_id] = state
+        return state
+
+    def register_all(self, profiles: Iterable[TenantProfile]) -> None:
+        """Register many tenants (convenience wrapper)."""
+        for profile in profiles:
+            self.register(profile)
+
+    def ensure(self, tenant_id: str) -> TenantState:
+        """The tenant's state, auto-registering a neutral profile if needed.
+
+        Auto-registration keeps the default tenant (and ad-hoc ids in tests)
+        working without an explicit population set-up; the neutral profile
+        has an empty wallet and the engine's baseline budget policy.
+
+        Args:
+            tenant_id: the tenant to look up.
+
+        Returns:
+            The (possibly new) :class:`TenantState`.
+        """
+        state = self._states.get(tenant_id)
+        if state is None:
+            state = self.register(TenantProfile(tenant_id))
+        return state
+
+    # -- lookups ---------------------------------------------------------------
+
+    def state(self, tenant_id: str) -> TenantState:
+        """The tenant's state; raises if the tenant was never registered."""
+        try:
+            return self._states[tenant_id]
+        except KeyError:
+            raise EconomyError(f"unknown tenant {tenant_id!r}") from None
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def tenant_ids(self) -> List[str]:
+        """All registered tenant ids, in registration order."""
+        return list(self._states)
+
+    def active_ids(self) -> List[str]:
+        """Ids of tenants currently active, in registration order."""
+        return [tid for tid, state in self._states.items() if state.active]
+
+    def states(self) -> Tuple[TenantState, ...]:
+        """Every tenant state, in registration order."""
+        return tuple(self._states.values())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def activate(self, tenant_id: str, now: float = 0.0) -> TenantState:
+        """Mark a tenant active (arrival); auto-registers unknown ids.
+
+        Args:
+            tenant_id: the arriving tenant.
+            now: simulated arrival instant.
+
+        Returns:
+            The tenant's state.
+        """
+        state = self.ensure(tenant_id)
+        state.active = True
+        state.activated_at_s = now
+        state.churned_at_s = None
+        return state
+
+    def deactivate(self, tenant_id: str, now: float = 0.0) -> TenantState:
+        """Mark a tenant churned; their wallet and history are retained.
+
+        Args:
+            tenant_id: the churning tenant.
+            now: simulated churn instant.
+
+        Returns:
+            The tenant's state.
+        """
+        state = self.state(tenant_id)
+        state.active = False
+        state.churned_at_s = now
+        return state
+
+    # -- economy hooks ---------------------------------------------------------
+
+    def budget_for(self, query: Query, backend_price: float,
+                   backend_response_time_s: float,
+                   default_model: UserModel) -> BudgetFunction:
+        """The budget function the issuing tenant submits with ``query``.
+
+        The tenant's own :class:`~repro.economy.user_model.UserModel` (if
+        any) replaces ``default_model``; the tenant's ``budget_multiplier``
+        then scales the resulting curve, making negotiation tenant-aware
+        without touching the negotiation algorithm itself.
+
+        Args:
+            query: the query being negotiated (carries ``tenant_id``).
+            backend_price: reference price of back-end execution.
+            backend_response_time_s: reference back-end response time.
+            default_model: the engine's baseline user model.
+
+        Returns:
+            The tenant-adjusted :class:`~repro.economy.budget.BudgetFunction`.
+        """
+        state = self.ensure(query.tenant_id)
+        state.queries_processed += 1
+        model = state.profile.user_model or default_model
+        budget = model.budget_for(query, backend_price, backend_response_time_s)
+        multiplier = state.profile.budget_multiplier
+        if multiplier != 1.0:
+            budget = budget.scaled(multiplier)
+        return budget
+
+    def charge(self, tenant_id: str, amount: float, now: float = 0.0,
+               note: str = "") -> None:
+        """Withdraw a query payment from the issuing tenant's wallet.
+
+        The wallet allows a negative balance, so the charge is never
+        silently dropped or shifted to another tenant — isolation and
+        conservation both hold by construction.
+
+        Args:
+            tenant_id: the tenant who pays.
+            amount: the (non-negative) charge.
+            now: simulated instant of the payment.
+            note: free-form ledger note.
+        """
+        if amount < 0:
+            raise EconomyError(f"charge must be non-negative, got {amount}")
+        if amount == 0:
+            return
+        state = self.ensure(tenant_id)
+        state.account.withdraw(amount, now, CATEGORY_TENANT_CHARGE, note=note)
+
+    def record_regret(self, tenant_id: str, structures, amount: float,
+                      divide: bool = False) -> None:
+        """Accumulate a plan's regret on the issuing tenant's own tracker.
+
+        Mirrors the engine's global distribution so reports can show *whose*
+        queries the cloud most regrets not serving better.
+
+        Args:
+            tenant_id: the tenant whose query produced the regret.
+            structures: the non-chosen plan's missing structures.
+            amount: the plan's regret.
+            divide: split equally over the structures (matches the engine's
+                ``divide_regret`` setting).
+        """
+        state = self.ensure(tenant_id)
+        state.regret.distribute(structures, amount, divide=divide)
+
+    def reset_regret(self, key: str) -> None:
+        """Zero a structure's regret on every tenant tracker (it got built)."""
+        for state in self._states.values():
+            state.regret.reset(key)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def total_credit(self) -> float:
+        """Sum of all tenant wallet balances (the conserved quantity)."""
+        return sum(state.account.credit for state in self._states.values())
+
+    def total_charged(self) -> float:
+        """Sum of every query payment ever charged across the registry."""
+        return sum(state.account.total_withdrawn()
+                   for state in self._states.values())
+
+    def credit_by_tenant(self) -> Dict[str, float]:
+        """Wallet balance per tenant id, in registration order."""
+        return {tid: state.account.credit for tid, state in self._states.items()}

@@ -58,7 +58,25 @@ class UserModel:
 
     def budget_for(self, query: Query, backend_price: float,
                    backend_response_time_s: float) -> BudgetFunction:
-        """The budget function the user submits along with ``query``."""
+        """The budget function the user submits along with ``query``.
+
+        Args:
+            query: the query (its ``budget_scale`` scales the amount).
+            backend_price: what back-end execution would cost the user.
+            backend_response_time_s: how long back-end execution takes.
+
+        Returns:
+            The query's :class:`~repro.economy.budget.BudgetFunction`.
+
+        Example:
+            >>> from repro.workload.query import Query
+            >>> query = Query(query_id=0, template_name="t",
+            ...               table_name="lineitem", predicates=(),
+            ...               projection_columns=("l_quantity",))
+            >>> UserModel(budget_factor=1.5).budget_for(
+            ...     query, backend_price=10.0, backend_response_time_s=4.0)
+            StepBudget(amount=15.0, max_time_s=8.0)
+        """
         if backend_price < 0:
             raise ConfigurationError("backend_price must be non-negative")
         if backend_response_time_s <= 0:

@@ -7,6 +7,19 @@ from typing import List, Sequence
 from repro.errors import ExperimentError
 
 
+def distribution_cells(values: Sequence[float]) -> List[object]:
+    """``[mean, min, max]`` cells for one row of an aggregate table.
+
+    Population-scale reports (the ``tenants`` experiment) summarise a
+    per-tenant metric as its distribution rather than printing hundreds of
+    rows; an empty sequence renders as dashes.
+    """
+    data = [float(value) for value in values]
+    if not data:
+        return ["-", "-", "-"]
+    return [sum(data) / len(data), min(data), max(data)]
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: str = "") -> str:
     """Render a fixed-width text table (the benches print these).

@@ -1,0 +1,225 @@
+"""The multi-tenant population experiment: any scheme over N tenants.
+
+One cell = one scheme replayed over a Zipf-skewed, optionally churning
+tenant population. Cells are independent — each rebuilds its system,
+population, and registry deterministically from the frozen config — so a
+multi-scheme run fans out over a ``ProcessPoolExecutor`` exactly like the
+figure grids, and the parallel tables are byte-identical to sequential
+ones.
+
+The per-tenant outputs join two sources: the step records (queries, cache
+hits, charges — available for every scheme) and the tenant registry
+(wallet balances, per-tenant regret — available for the econ-* schemes,
+whose engine runs the multi-tenant economy).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.economy.tenancy import TenantRegistry
+from repro.errors import ExperimentError
+from repro.experiments.reporting import distribution_cells, format_table
+from repro.policies.economic import EconomicSchemeConfig
+from repro.policies.factory import SCHEME_NAMES
+from repro.simulator.metrics import MetricsSummary, TenantBreakdown
+from repro.simulator.simulation import CloudSimulation, SimulationConfig
+from repro.system import CloudSystem
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.population import (
+    PopulatedWorkload,
+    PopulationSpec,
+    TenantPopulation,
+)
+
+
+@dataclass(frozen=True)
+class TenantExperimentConfig:
+    """One population cell: a scheme plus the workload/population shape.
+
+    Frozen (hashable, picklable) so cells can ship to worker processes.
+    """
+
+    scheme: str = "econ-cheap"
+    tenant_count: int = 100
+    query_count: int = 400
+    interarrival_s: float = 10.0
+    seed: int = 0
+    zipf_exponent: float = 1.1
+    initial_credit: float = 50.0
+    budget_sigma: float = 0.0
+    churn_period: int = 0
+    churn_fraction: float = 0.1
+    warmup_queries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEME_NAMES:
+            raise ExperimentError(
+                f"unknown scheme {self.scheme!r}; expected one of "
+                f"{', '.join(SCHEME_NAMES)}"
+            )
+        if self.query_count <= 0:
+            raise ExperimentError("query_count must be positive")
+
+    def population_spec(self) -> PopulationSpec:
+        """The population half of the configuration."""
+        return PopulationSpec(
+            tenant_count=self.tenant_count,
+            zipf_exponent=self.zipf_exponent,
+            initial_credit=self.initial_credit,
+            budget_sigma=self.budget_sigma,
+            churn_period=self.churn_period,
+            churn_fraction=self.churn_fraction,
+            seed=self.seed,
+        )
+
+    def workload_spec(self) -> WorkloadSpec:
+        """The workload half of the configuration."""
+        return WorkloadSpec(
+            query_count=self.query_count,
+            interarrival_s=self.interarrival_s,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class TenantCellResult:
+    """Everything one population cell produced."""
+
+    config: TenantExperimentConfig
+    summary: MetricsSummary
+    tenants: Tuple[TenantBreakdown, ...]
+    wallet_credit: Tuple[Tuple[str, float], ...]
+    population_size: int
+    churn_waves: int
+
+    def wallet_by_tenant(self) -> Dict[str, float]:
+        """Wallet balances as a dict (empty for schemes with no registry)."""
+        return dict(self.wallet_credit)
+
+
+def build_population(config: TenantExperimentConfig) -> PopulatedWorkload:
+    """Generate the populated workload a cell replays (deterministic)."""
+    workload = WorkloadGenerator(config.workload_spec()).generate()
+    return TenantPopulation(config.population_spec()).populate(workload)
+
+
+def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
+    """Run one scheme over one populated workload.
+
+    The econ-* schemes get a :class:`TenantRegistry` pre-loaded with the
+    population's profiles, making their pricing/negotiation tenant-aware;
+    the bypass baseline has no economy, so only its step-level tenant
+    metrics are populated (wallets stay empty).
+    """
+    populated = build_population(config)
+    system = CloudSystem()
+    registry: Optional[TenantRegistry] = None
+    if config.scheme == "bypass":
+        scheme = system.scheme(config.scheme)
+    else:
+        registry = TenantRegistry()
+        registry.register_all(populated.profiles)
+        scheme = system.scheme(
+            config.scheme, economic_config=EconomicSchemeConfig(tenants=registry)
+        )
+    simulation = CloudSimulation(
+        scheme, SimulationConfig(warmup_queries=config.warmup_queries)
+    )
+    result = simulation.run(populated.queries,
+                            tenant_lifecycle=populated.lifecycle)
+
+    breakdowns = _sorted_breakdowns(result.steps)
+    wallets: Tuple[Tuple[str, float], ...] = ()
+    if registry is not None:
+        wallets = tuple(registry.credit_by_tenant().items())
+    return TenantCellResult(
+        config=config,
+        summary=result.summary,
+        tenants=breakdowns,
+        wallet_credit=wallets,
+        population_size=populated.tenant_count,
+        churn_waves=populated.churn_waves,
+    )
+
+
+def _sorted_breakdowns(steps) -> Tuple[TenantBreakdown, ...]:
+    """Per-tenant breakdowns, busiest tenant first (ties by id)."""
+    from repro.simulator.metrics import breakdown_by_tenant
+
+    breakdowns = breakdown_by_tenant(steps)
+    return tuple(sorted(
+        breakdowns.values(),
+        key=lambda item: (-item.query_count, item.tenant_id),
+    ))
+
+
+def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
+                          jobs: Optional[int] = None) -> List[TenantCellResult]:
+    """Run many population cells, optionally fanned over worker processes.
+
+    Args:
+        configs: the cells to run (typically one per scheme).
+        jobs: worker processes; ``None`` or 1 runs sequentially. Results
+            come back in ``configs`` order either way, and each cell is
+            deterministic, so the parallel path is byte-identical.
+    """
+    cells = list(configs)
+    if not cells:
+        raise ExperimentError("at least one tenant cell is required")
+    worker_count = 1 if jobs is None else int(jobs)
+    if worker_count < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if worker_count == 1 or len(cells) == 1:
+        return [run_tenant_cell(config) for config in cells]
+    with ProcessPoolExecutor(
+            max_workers=min(worker_count, len(cells))) as executor:
+        return list(executor.map(run_tenant_cell, cells))
+
+
+# -- tables --------------------------------------------------------------------
+
+
+def tenant_aggregate_table(result: TenantCellResult) -> str:
+    """The per-tenant aggregate table of one cell (credit, hit rate, load)."""
+    config = result.config
+    hit_rates = [item.cache_hit_rate for item in result.tenants]
+    loads = [float(item.query_count) for item in result.tenants]
+    charges = [item.total_charge for item in result.tenants]
+    rows: List[List[object]] = [
+        ["tenants ever active", result.population_size, "", ""],
+        ["tenants with traffic", len(result.tenants), "", ""],
+        ["churn waves", result.churn_waves, "", ""],
+        ["queries/tenant"] + distribution_cells(loads),
+        ["cache hit rate"] + distribution_cells(hit_rates),
+        ["charge/tenant"] + distribution_cells(charges),
+    ]
+    wallets = [credit for _, credit in result.wallet_credit]
+    if wallets:
+        rows.append(["wallet credit"] + distribution_cells(wallets))
+    title = (f"Tenants - {config.scheme} x {config.tenant_count} tenants "
+             f"({config.query_count} queries)")
+    return format_table(["metric", "mean", "min", "max"], rows, title=title)
+
+
+def top_tenant_table(result: TenantCellResult, limit: int = 10) -> str:
+    """The busiest ``limit`` tenants of one cell, one row each."""
+    wallets = result.wallet_by_tenant()
+    headers = ["tenant", "queries", "hit_rate", "charge", "profit", "credit"]
+    rows: List[List[object]] = []
+    for item in result.tenants[:limit]:
+        credit = wallets.get(item.tenant_id)
+        rows.append([
+            item.tenant_id,
+            item.query_count,
+            item.cache_hit_rate,
+            item.total_charge,
+            item.total_profit,
+            credit if credit is not None else "-",
+        ])
+    return format_table(
+        headers, rows,
+        title=f"Top {min(limit, len(result.tenants))} tenants by traffic",
+    )

@@ -41,6 +41,7 @@ class SchemeStep:
     builds: int
     evictions: int
     eviction_losses: float
+    tenant_id: str = "default"
 
     @property
     def execution_dollars(self) -> float:
@@ -70,6 +71,16 @@ class CachingScheme(abc.ABC):
     @abc.abstractmethod
     def process(self, query: Query) -> SchemeStep:
         """Serve one query and report its step record."""
+
+    @property
+    def tenant_registry(self):
+        """The scheme's tenant registry, or ``None`` for single-tenant schemes.
+
+        Schemes built on a multi-tenant economy override this with their
+        :class:`~repro.economy.tenancy.TenantRegistry`; the simulator uses
+        it to apply tenant arrival/churn events.
+        """
+        return None
 
     def maintenance_rate(self) -> float:
         """Current $ per second of storage and node uptime the scheme pays."""

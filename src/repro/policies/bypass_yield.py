@@ -172,4 +172,5 @@ class BypassYieldScheme(CachingScheme):
             builds=builds,
             evictions=evictions,
             eviction_losses=eviction_losses,
+            tenant_id=query.tenant_id,
         )

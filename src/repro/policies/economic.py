@@ -22,6 +22,7 @@ from repro.costmodel.build import StructureCostModel
 from repro.costmodel.execution import ExecutionCostModel
 from repro.economy.engine import EconomyConfig, EconomyEngine, QueryOutcome
 from repro.economy.negotiation import PlanSelection
+from repro.economy.tenancy import TenantRegistry
 from repro.errors import ConfigurationError
 from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
 from repro.policies.base import CachingScheme, SchemeStep
@@ -40,12 +41,16 @@ class EconomicSchemeConfig:
         cache: cache capacity and failure-eviction settings.
         candidate_indexes: the advisor's index pool (ignored when the
             enumerator disallows index plans).
+        tenants: optional multi-tenant registry; when set, pricing and
+            negotiation become tenant-aware (per-tenant budgets, wallets,
+            and regret) while ``None`` keeps the single-tenant path.
     """
 
     economy: EconomyConfig = field(default_factory=EconomyConfig)
     enumerator: EnumeratorConfig = field(default_factory=EnumeratorConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     candidate_indexes: Sequence[CachedIndex] = ()
+    tenants: Optional[TenantRegistry] = None
 
 
 class EconomicScheme(CachingScheme):
@@ -71,6 +76,7 @@ class EconomicScheme(CachingScheme):
             structure_costs=structure_costs,
             cache=CacheManager(config.cache),
             config=config.economy,
+            tenants=config.tenants,
         )
 
     @property
@@ -85,6 +91,11 @@ class EconomicScheme(CachingScheme):
     def engine(self) -> EconomyEngine:
         """The underlying economy engine (exposed for inspection and tests)."""
         return self._engine
+
+    @property
+    def tenant_registry(self) -> Optional[TenantRegistry]:
+        """The engine's tenant registry (``None`` when single-tenant)."""
+        return self._engine.tenants
 
     def process(self, query: Query) -> SchemeStep:
         outcome = self._engine.process_query(query)
@@ -110,6 +121,7 @@ def _step_from_outcome(outcome: QueryOutcome) -> SchemeStep:
         builds=len(outcome.builds),
         evictions=len(outcome.evictions),
         eviction_losses=outcome.eviction_losses,
+        tenant_id=outcome.tenant_id,
     )
 
 
@@ -127,6 +139,7 @@ def build_econ_col(execution_model: ExecutionCostModel,
                            max_extra_nodes=0),
         cache=base.cache,
         candidate_indexes=(),
+        tenants=base.tenants,
     )
     return EconomicScheme("econ-col", execution_model, structure_costs, adjusted)
 
@@ -141,6 +154,7 @@ def build_econ_cheap(execution_model: ExecutionCostModel,
         enumerator=replace(base.enumerator, allow_index_plans=True),
         cache=base.cache,
         candidate_indexes=base.candidate_indexes,
+        tenants=base.tenants,
     )
     return EconomicScheme("econ-cheap", execution_model, structure_costs, adjusted)
 
@@ -155,5 +169,6 @@ def build_econ_fast(execution_model: ExecutionCostModel,
         enumerator=replace(base.enumerator, allow_index_plans=True),
         cache=base.cache,
         candidate_indexes=base.candidate_indexes,
+        tenants=base.tenants,
     )
     return EconomicScheme("econ-fast", execution_model, structure_costs, adjusted)

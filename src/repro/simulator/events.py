@@ -8,12 +8,17 @@ order** so that runs are reproducible regardless of scheduling order:
 
 1. :class:`WorkloadPhaseChangeEvent` (priority 0) — a phase boundary
    applies before anything else that happens at the same instant.
-2. :class:`MaintenanceSettlementEvent` (priority 10) — storage/uptime is
+2. :class:`TenantArrivalEvent` (priority 4) and
+   :class:`TenantChurnEvent` (priority 6) — the tenant population is
+   updated before money moves at the same instant, and an arrival that
+   coincides with a churn (a replacement joining as its predecessor
+   leaves) activates first.
+3. :class:`MaintenanceSettlementEvent` (priority 10) — storage/uptime is
    settled up to the instant *before* simultaneous queries can change
    what is built.
-3. :class:`StructureFailureCheckEvent` (priority 20) — failed structures
+4. :class:`StructureFailureCheckEvent` (priority 20) — failed structures
    are released before a simultaneous arrival could be served by them.
-4. :class:`QueryArrivalEvent` (priority 30) — queries run last.
+5. :class:`QueryArrivalEvent` (priority 30) — queries run last.
 
 Unclassified :class:`Event` subclasses default to priority 40 and
 dispatch after the built-ins. Events with equal time and equal priority
@@ -68,6 +73,43 @@ class WorkloadPhaseChangeEvent(Event):
             raise SimulationError(
                 f"phase_index must be non-negative, got {self.phase_index}"
             )
+
+
+@dataclass(frozen=True)
+class TenantArrivalEvent(Event):
+    """A tenant (user account) joins the population.
+
+    Emitted by the population layer (:mod:`repro.workload.population`);
+    schemes with a :class:`~repro.economy.tenancy.TenantRegistry` activate
+    the tenant, single-tenant schemes just count the event.
+    """
+
+    priority: ClassVar[int] = 4
+
+    tenant_id: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.tenant_id:
+            raise SimulationError("TenantArrivalEvent requires a tenant_id")
+
+
+@dataclass(frozen=True)
+class TenantChurnEvent(Event):
+    """A tenant leaves the population; their wallet and history persist.
+
+    Dispatches after any same-instant :class:`TenantArrivalEvent` so that a
+    replacement tenant is active before its predecessor is deactivated.
+    """
+
+    priority: ClassVar[int] = 6
+
+    tenant_id: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.tenant_id:
+            raise SimulationError("TenantChurnEvent requires a tenant_id")
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,8 @@ from repro.simulator.events import (
     MaintenanceSettlementEvent,
     QueryArrivalEvent,
     StructureFailureCheckEvent,
+    TenantArrivalEvent,
+    TenantChurnEvent,
     WorkloadPhaseChangeEvent,
 )
 from repro.simulator.kernel import SimulationKernel
@@ -51,6 +53,8 @@ class SchemeTenant:
         self._processed = 0
         self._last_settled_s = start_time_s
         self._phase_changes = 0
+        self._tenant_arrivals = 0
+        self._tenant_churns = 0
 
     # -- introspection ---------------------------------------------------------
 
@@ -74,6 +78,16 @@ class SchemeTenant:
         """Workload phase-change events observed so far."""
         return self._phase_changes
 
+    @property
+    def tenant_arrivals_seen(self) -> int:
+        """Tenant arrival events observed so far."""
+        return self._tenant_arrivals
+
+    @property
+    def tenant_churns_seen(self) -> int:
+        """Tenant churn events observed so far."""
+        return self._tenant_churns
+
     # -- wiring ----------------------------------------------------------------
 
     def register(self, kernel: SimulationKernel) -> None:
@@ -82,6 +96,8 @@ class SchemeTenant:
         kernel.register(MaintenanceSettlementEvent, self.on_settlement)
         kernel.register(StructureFailureCheckEvent, self.on_failure_check)
         kernel.register(WorkloadPhaseChangeEvent, self.on_phase_change)
+        kernel.register(TenantArrivalEvent, self.on_tenant_arrival)
+        kernel.register(TenantChurnEvent, self.on_tenant_churn)
 
     # -- handlers --------------------------------------------------------------
 
@@ -115,6 +131,27 @@ class SchemeTenant:
         """Observe a workload phase boundary (schemes are self-tuned; the
         boundary is informational, but counting it keeps runs auditable)."""
         self._phase_changes += 1
+
+    def on_tenant_arrival(self, event: Event, kernel: SimulationKernel) -> None:
+        """Activate the arriving tenant in the scheme's registry (if any)."""
+        assert isinstance(event, TenantArrivalEvent)
+        self._tenant_arrivals += 1
+        registry = self._scheme.tenant_registry
+        if registry is not None:
+            registry.activate(event.tenant_id, now=event.time_s)
+
+    def on_tenant_churn(self, event: Event, kernel: SimulationKernel) -> None:
+        """Deactivate the churning tenant in the scheme's registry (if any).
+
+        The tenant's wallet and regret history are retained: a returning
+        tenant resumes with its old balance, and end-of-run reports still
+        cover churned tenants.
+        """
+        assert isinstance(event, TenantChurnEvent)
+        self._tenant_churns += 1
+        registry = self._scheme.tenant_registry
+        if registry is not None:
+            registry.deactivate(event.tenant_id, now=event.time_s)
 
     # -- internals -------------------------------------------------------------
 

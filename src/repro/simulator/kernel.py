@@ -9,6 +9,17 @@ to the event's instant and every handler whose registered type matches
 (by ``isinstance``) runs in registration order. Handlers receive the
 kernel itself and may schedule follow-up events, which is how periodic
 settlements and scenario phase chains are expressed.
+
+Example:
+    >>> from repro.simulator.events import Event
+    >>> kernel = SimulationKernel()
+    >>> seen = []
+    >>> kernel.register(Event, lambda event, k: seen.append(event.time_s))
+    >>> kernel.schedule_all([Event(time_s=2.0), Event(time_s=1.0)])
+    >>> kernel.run()
+    2
+    >>> seen, kernel.now
+    ([1.0, 2.0], 2.0)
 """
 
 from __future__ import annotations
@@ -64,6 +75,14 @@ class SimulationKernel:
         Matching is by ``isinstance``, so a handler registered for
         :class:`Event` sees everything. Handlers for one event run in
         registration order — a second stable order on top of the queue's.
+
+        Args:
+            event_type: the :class:`~repro.simulator.events.Event` subclass
+                (or :class:`Event` itself) the handler reacts to.
+            handler: callable invoked as ``handler(event, kernel)``.
+
+        Raises:
+            SimulationError: for a non-Event type or a non-callable handler.
         """
         if not (isinstance(event_type, type) and issubclass(event_type, Event)):
             raise SimulationError(
@@ -74,7 +93,22 @@ class SimulationKernel:
         self._handlers.append((event_type, handler))
 
     def schedule(self, event: Event) -> None:
-        """Queue one event; it must not be in the simulated past."""
+        """Queue one event; it must not be in the simulated past.
+
+        Args:
+            event: the event to queue.
+
+        Raises:
+            SimulationError: if the event predates the current clock.
+
+        Example:
+            >>> from repro.simulator.events import Event
+            >>> kernel = SimulationKernel(start_time_s=5.0)
+            >>> kernel.schedule(Event(time_s=1.0))
+            Traceback (most recent call last):
+                ...
+            repro.errors.SimulationError: cannot schedule an event at 1.0 before the current time 5.0
+        """
         if event.time_s < self._clock.now - 1e-9:
             raise SimulationError(
                 f"cannot schedule an event at {event.time_s} "

@@ -10,7 +10,7 @@ refers to (cache hit rate, builds, evictions, per-resource spend, profit).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +73,65 @@ class MetricsSummary:
         }
 
 
+@dataclass(frozen=True)
+class TenantBreakdown:
+    """Per-tenant aggregate of one simulation run.
+
+    Rolled up from the :class:`~repro.policies.base.SchemeStep` records of
+    the queries the tenant issued; the tenant's wallet balance lives in the
+    :class:`~repro.economy.tenancy.TenantRegistry` and is joined in by the
+    reporting layer.
+    """
+
+    tenant_id: str
+    query_count: int
+    cache_hits: int
+    total_charge: float
+    total_profit: float
+    mean_response_time_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of the tenant's queries served from the cache."""
+        if self.query_count == 0:
+            return 0.0
+        return self.cache_hits / self.query_count
+
+
+def breakdown_by_tenant(steps: Sequence[SchemeStep]) -> Dict[str, TenantBreakdown]:
+    """Aggregate step records per tenant id.
+
+    Args:
+        steps: step records of one run, in any order.
+
+    Returns:
+        ``tenant_id -> TenantBreakdown`` in first-appearance order.
+    """
+    counts: Dict[str, int] = {}
+    hits: Dict[str, int] = {}
+    charges: Dict[str, float] = {}
+    profits: Dict[str, float] = {}
+    times: Dict[str, float] = {}
+    for step in steps:
+        tid = step.tenant_id
+        counts[tid] = counts.get(tid, 0) + 1
+        hits[tid] = hits.get(tid, 0) + (1 if step.served_in_cache else 0)
+        charges[tid] = charges.get(tid, 0.0) + step.charge
+        profits[tid] = profits.get(tid, 0.0) + step.profit
+        times[tid] = times.get(tid, 0.0) + step.response_time_s
+    return {
+        tid: TenantBreakdown(
+            tenant_id=tid,
+            query_count=counts[tid],
+            cache_hits=hits[tid],
+            total_charge=charges[tid],
+            total_profit=profits[tid],
+            mean_response_time_s=times[tid] / counts[tid],
+        )
+        for tid in counts
+    }
+
+
 class MetricsCollector:
     """Accumulates per-query steps and time-proportional maintenance cost."""
 
@@ -129,6 +188,11 @@ class MetricsCollector:
     def response_times(self) -> np.ndarray:
         """Response times of all recorded queries."""
         return np.array([step.response_time_s for step in self._steps], dtype=float)
+
+    def tenant_breakdowns(self) -> Dict[str, TenantBreakdown]:
+        """Per-tenant aggregates of the recorded steps (see
+        :func:`breakdown_by_tenant`)."""
+        return breakdown_by_tenant(self._steps)
 
     def cumulative_cost_series(self) -> List[float]:
         """Cumulative execution+build spend after each query (no maintenance)."""

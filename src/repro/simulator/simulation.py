@@ -25,6 +25,8 @@ from repro.simulator.events import (
     MaintenanceSettlementEvent,
     QueryArrivalEvent,
     StructureFailureCheckEvent,
+    TenantArrivalEvent,
+    TenantChurnEvent,
     WorkloadPhaseChangeEvent,
 )
 from repro.simulator.handlers import PeriodicRescheduler, SchemeTenant
@@ -92,7 +94,8 @@ def trailing_interval_for(queries: Sequence[Query]) -> float:
 
 def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
                  config: SimulationConfig,
-                 phase_changes: Sequence = ()) -> Dict[str, SimulationResult]:
+                 phase_changes: Sequence = (),
+                 tenant_lifecycle: Sequence = ()) -> Dict[str, SimulationResult]:
     """Shared kernel assembly: run ``schemes`` over one workload and clock."""
     query_list = list(queries)
     if not query_list:
@@ -133,6 +136,12 @@ def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
             time_s=change.time_s,
             phase_index=change.phase_index,
             label=change.label,
+        ))
+    for marker in tenant_lifecycle:
+        event_type = (TenantArrivalEvent if marker.kind == "arrival"
+                      else TenantChurnEvent)
+        kernel.schedule(event_type(
+            time_s=marker.time_s, tenant_id=marker.tenant_id,
         ))
     # Periodic events are clamped to the run horizon: an initial occurrence
     # past end_s would extend the measured duration beyond the documented
@@ -178,7 +187,8 @@ class CloudSimulation:
         return self._scheme
 
     def run(self, queries: Sequence[Query],
-            phase_changes: Sequence = ()) -> SimulationResult:
+            phase_changes: Sequence = (),
+            tenant_lifecycle: Sequence = ()) -> SimulationResult:
         """Process all queries in arrival order and return the result.
 
         Args:
@@ -186,9 +196,14 @@ class CloudSimulation:
             phase_changes: optional workload phase boundaries (see
                 :mod:`repro.workload.scenarios`), scheduled as
                 :class:`~repro.simulator.events.WorkloadPhaseChangeEvent`.
+            tenant_lifecycle: optional tenant join/leave markers (see
+                :mod:`repro.workload.population`), scheduled as
+                :class:`~repro.simulator.events.TenantArrivalEvent` /
+                :class:`~repro.simulator.events.TenantChurnEvent`.
         """
         results = _run_tenants([self._scheme], queries, self._config,
-                               phase_changes=phase_changes)
+                               phase_changes=phase_changes,
+                               tenant_lifecycle=tenant_lifecycle)
         return results[self._scheme.name]
 
 
@@ -217,10 +232,12 @@ class MultiSchemeSimulation:
         return tuple(self._schemes)
 
     def run(self, queries: Sequence[Query],
-            phase_changes: Sequence = ()) -> Dict[str, SimulationResult]:
+            phase_changes: Sequence = (),
+            tenant_lifecycle: Sequence = ()) -> Dict[str, SimulationResult]:
         """Run every scheme over ``queries``; results keyed by scheme name."""
         return _run_tenants(self._schemes, queries, self._config,
-                            phase_changes=phase_changes)
+                            phase_changes=phase_changes,
+                            tenant_lifecycle=tenant_lifecycle)
 
 
 def run_scheme(scheme: CachingScheme, queries: Iterable[Query],

@@ -119,6 +119,7 @@ class CloudSystem:
                 enumerator=economic_config.enumerator,
                 cache=economic_config.cache,
                 candidate_indexes=self._candidate_indexes,
+                tenants=economic_config.tenants,
             )
         if economic_config is None:
             economic_config = EconomicSchemeConfig(

@@ -9,7 +9,8 @@ temporal locality properties Section VI calls out as prerequisites for a
 viable cache economy. The scenario layer (:mod:`repro.workload.scenarios`)
 adds bursty, diurnal, and phase-shift arrival regimes plus drifting
 template mixes, each announcing its phase boundaries to the simulation
-kernel.
+kernel. The population layer (:mod:`repro.workload.population`) assigns a
+Zipf-skewed, optionally churning N-tenant population to any query stream.
 """
 
 from repro.workload.arrival import (
@@ -20,6 +21,12 @@ from repro.workload.arrival import (
     TraceArrival,
 )
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.population import (
+    PopulatedWorkload,
+    PopulationSpec,
+    TenantLifecycleMarker,
+    TenantPopulation,
+)
 from repro.workload.query import Predicate, PredicateKind, Query, QueryTemplate
 from repro.workload.scenarios import (
     SCENARIO_NAMES,
@@ -47,6 +54,10 @@ __all__ = [
     "drifting_mix_workload",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "PopulatedWorkload",
+    "PopulationSpec",
+    "TenantLifecycleMarker",
+    "TenantPopulation",
     "Predicate",
     "PredicateKind",
     "Query",

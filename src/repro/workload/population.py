@@ -1,0 +1,235 @@
+"""Population-scale workloads: who issues each query.
+
+The ROADMAP's north star is "heavy traffic from millions of users"; this
+module is the layer that turns an anonymous query stream into traffic from
+an N-tenant population:
+
+* activity is **Zipf-skewed** — a few tenants issue most of the queries,
+  the long tail issues the rest, matching every measured multi-user trace;
+* the population **churns** — on a configurable schedule a fraction of the
+  active tenants leaves and is replaced by fresh ones, each replacement
+  inheriting its predecessor's activity rank (the skew is stationary even
+  while identities rotate);
+* every join/leave is announced as a :class:`TenantLifecycleMarker`, which
+  the simulation layer schedules as first-class
+  :class:`~repro.simulator.events.TenantArrivalEvent` /
+  :class:`~repro.simulator.events.TenantChurnEvent` kernel events.
+
+The output of :meth:`TenantPopulation.populate` plugs straight into
+:class:`~repro.simulator.simulation.CloudSimulation` and a
+:class:`~repro.economy.tenancy.TenantRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.query import Query
+
+if TYPE_CHECKING:  # deferred: economy imports the cost model, which imports
+    # the workload package — a module-level import here would be circular.
+    from repro.economy.tenancy import TenantProfile
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Parameters of the tenant population.
+
+    Attributes:
+        tenant_count: number of tenants active at any one time.
+        zipf_exponent: skew of the activity distribution; tenant of rank
+            ``r`` (0-based) is drawn with weight ``1 / (r + 1) ** s``.
+            ``0`` gives a uniform population, ``~1.1`` a realistic skew.
+        initial_credit: seed credit of every tenant wallet.
+        budget_sigma: lognormal sigma of the per-tenant budget multiplier
+            (0 gives every tenant the baseline willingness-to-pay).
+        churn_period: replace part of the population every this many
+            queries; ``0`` disables churn.
+        churn_fraction: fraction of the active tenants replaced per wave
+            (``0`` also disables churn).
+        seed: RNG seed; equal specs produce equal populations.
+    """
+
+    tenant_count: int = 100
+    zipf_exponent: float = 1.1
+    initial_credit: float = 50.0
+    budget_sigma: float = 0.0
+    churn_period: int = 0
+    churn_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tenant_count <= 0:
+            raise WorkloadError("tenant_count must be positive")
+        if self.zipf_exponent < 0:
+            raise WorkloadError("zipf_exponent must be non-negative")
+        if self.initial_credit < 0:
+            raise WorkloadError("initial_credit must be non-negative")
+        if self.budget_sigma < 0:
+            raise WorkloadError("budget_sigma must be non-negative")
+        if self.churn_period < 0:
+            raise WorkloadError("churn_period must be non-negative")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise WorkloadError("churn_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class TenantLifecycleMarker:
+    """One tenant joining (``"arrival"``) or leaving (``"churn"``)."""
+
+    time_s: float
+    tenant_id: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("arrival", "churn"):
+            raise WorkloadError(
+                f"kind must be 'arrival' or 'churn', got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PopulatedWorkload:
+    """A query stream with tenants assigned, plus the population metadata."""
+
+    queries: Tuple[Query, ...]
+    profiles: Tuple["TenantProfile", ...]
+    lifecycle: Tuple[TenantLifecycleMarker, ...]
+
+    @property
+    def tenant_count(self) -> int:
+        """Total tenants that ever existed (initial + churn replacements)."""
+        return len(self.profiles)
+
+    @property
+    def churn_waves(self) -> int:
+        """Number of churn markers emitted."""
+        return sum(1 for marker in self.lifecycle if marker.kind == "churn")
+
+
+class TenantPopulation:
+    """Assigns an N-tenant population to an existing query stream."""
+
+    def __init__(self, spec: PopulationSpec = PopulationSpec()) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> PopulationSpec:
+        """The population specification."""
+        return self._spec
+
+    # -- generation ------------------------------------------------------------
+
+    def populate(self, queries: Sequence[Query]) -> PopulatedWorkload:
+        """Assign a tenant to every query and derive the lifecycle markers.
+
+        Queries keep their ids, arrival times, and selectivities — only
+        ``tenant_id`` changes — so the same workload replayed single-tenant
+        and populated differs in nothing but who pays for each query.
+
+        Args:
+            queries: the base workload, in arrival order.
+
+        Returns:
+            The populated workload (queries, tenant profiles, lifecycle).
+        """
+        query_list = list(queries)
+        if not query_list:
+            raise WorkloadError("cannot populate an empty workload")
+        spec = self._spec
+        rng = np.random.default_rng(spec.seed)
+
+        profiles: List["TenantProfile"] = []
+        start_s = query_list[0].arrival_time
+        # Slot r holds the tenant of activity rank r; churn replaces the
+        # slot's occupant but the slot keeps its Zipf weight, so the skew
+        # stays stationary while identities rotate.
+        slots = [self._new_tenant(profiles, rng, joined_at_s=start_s)
+                 for _ in range(spec.tenant_count)]
+        weights = self._slot_weights()
+        lifecycle: List[TenantLifecycleMarker] = [
+            TenantLifecycleMarker(time_s=start_s, tenant_id=tenant_id,
+                                  kind="arrival")
+            for tenant_id in slots
+        ]
+
+        # Tenants are drawn one inter-churn segment at a time: the weights
+        # are constant between waves, so one vectorized choice() per segment
+        # replaces a per-query O(tenant_count) CDF rebuild — the difference
+        # between seconds and hours at population scale.
+        populated: List[Query] = []
+        total = len(query_list)
+        churning = bool(spec.churn_period) and spec.churn_fraction > 0
+        segment_len = spec.churn_period if churning else total
+        cursor = 0
+        while cursor < total:
+            if churning and cursor:
+                lifecycle.extend(self._churn_wave(
+                    slots, profiles, rng, query_list[cursor].arrival_time
+                ))
+            segment = query_list[cursor:cursor + segment_len]
+            draws = rng.choice(len(slots), size=len(segment), p=weights)
+            populated.extend(
+                replace(query, tenant_id=slots[int(slot)])
+                for query, slot in zip(segment, draws)
+            )
+            cursor += len(segment)
+        return PopulatedWorkload(
+            queries=tuple(populated),
+            profiles=tuple(profiles),
+            lifecycle=tuple(lifecycle),
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _slot_weights(self) -> np.ndarray:
+        """Normalised Zipf weights over the population slots."""
+        ranks = np.arange(1, self._spec.tenant_count + 1, dtype=float)
+        raw = ranks ** (-self._spec.zipf_exponent)
+        return raw / raw.sum()
+
+    def _new_tenant(self, profiles: List["TenantProfile"],
+                    rng: np.random.Generator,
+                    joined_at_s: float) -> str:
+        """Mint a fresh tenant profile and return its id."""
+        from repro.economy.tenancy import TenantProfile
+
+        spec = self._spec
+        tenant_id = f"t{len(profiles):05d}"
+        multiplier = 1.0
+        if spec.budget_sigma > 0:
+            multiplier = float(max(1e-6, rng.lognormal(
+                mean=0.0, sigma=spec.budget_sigma
+            )))
+        profiles.append(TenantProfile(
+            tenant_id=tenant_id,
+            initial_credit=spec.initial_credit,
+            budget_multiplier=multiplier,
+            joined_at_s=joined_at_s,
+        ))
+        return tenant_id
+
+    def _churn_wave(self, slots: List[str], profiles: List["TenantProfile"],
+                    rng: np.random.Generator,
+                    now_s: float) -> List[TenantLifecycleMarker]:
+        """Replace a fraction of the active tenants; returns the markers."""
+        spec = self._spec
+        count = max(1, int(round(spec.churn_fraction * len(slots))))
+        chosen = rng.choice(len(slots), size=min(count, len(slots)),
+                            replace=False)
+        markers: List[TenantLifecycleMarker] = []
+        for slot in sorted(int(value) for value in chosen):
+            leaving = slots[slot]
+            arriving = self._new_tenant(profiles, rng, joined_at_s=now_s)
+            slots[slot] = arriving
+            # The arrival marker precedes the churn marker; at equal times
+            # the kernel also dispatches arrivals first (priority 4 < 6).
+            markers.append(TenantLifecycleMarker(
+                time_s=now_s, tenant_id=arriving, kind="arrival"))
+            markers.append(TenantLifecycleMarker(
+                time_s=now_s, tenant_id=leaving, kind="churn"))
+        return markers

@@ -156,7 +156,8 @@ class QueryTemplate:
 
     def instantiate(self, query_id: int, arrival_time: float,
                     selectivities: Optional[Dict[str, float]] = None,
-                    budget_scale: float = 1.0) -> "Query":
+                    budget_scale: float = 1.0,
+                    tenant_id: str = "default") -> "Query":
         """Create a concrete :class:`Query` from this template.
 
         Args:
@@ -166,6 +167,8 @@ class QueryTemplate:
                 overriding template predicate selectivities.
             budget_scale: multiplier the generator uses to vary how much the
                 user is willing to pay relative to the baseline.
+            tenant_id: the tenant (user account) issuing the query; defaults
+                to the single shared tenant of the original paper pipeline.
         """
         overrides = selectivities or {}
         predicates = tuple(
@@ -186,6 +189,7 @@ class QueryTemplate:
             base_cost_factor=self.base_cost_factor,
             arrival_time=arrival_time,
             budget_scale=budget_scale,
+            tenant_id=tenant_id,
         )
 
 
@@ -205,6 +209,7 @@ class Query:
     base_cost_factor: float = 1.0
     arrival_time: float = 0.0
     budget_scale: float = 1.0
+    tenant_id: str = "default"
 
     def __post_init__(self) -> None:
         if self.query_id < 0:
@@ -217,6 +222,8 @@ class Query:
             raise WorkloadError(
                 f"budget_scale must be positive, got {self.budget_scale}"
             )
+        if not self.tenant_id:
+            raise WorkloadError("tenant_id must not be empty")
 
     @property
     def predicate_columns(self) -> Tuple[str, ...]:

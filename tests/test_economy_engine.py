@@ -145,3 +145,50 @@ class TestConfigValidation:
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             EconomyConfig(**kwargs)
+
+
+class TestSafeWithdrawShortfall:
+    """Regression: a capped withdrawal must surface, not vanish silently."""
+
+    def test_shortfall_is_recorded_per_category(self, execution_model,
+                                                structure_costs, system):
+        engine = make_engine(execution_model, structure_costs, system,
+                             initial_credit=2.0)
+        shortfall = engine._safe_withdraw(5.0, 0.0, "execution_cost")
+        assert shortfall == pytest.approx(3.0)
+        assert engine.account.credit == 0.0
+        assert engine._uncovered == [("execution_cost", pytest.approx(3.0))]
+
+    def test_covered_withdrawal_reports_no_shortfall(self, execution_model,
+                                                     structure_costs, system):
+        engine = make_engine(execution_model, structure_costs, system,
+                             initial_credit=10.0)
+        assert engine._safe_withdraw(5.0, 0.0, "execution_cost") == 0.0
+        assert engine._uncovered == []
+
+    def test_outcome_surfaces_uncovered_costs(self, execution_model,
+                                              structure_costs, system,
+                                              workload):
+        """With the conservative-provider rule off, builds can outrun the
+        credit; the gap must show up on the triggering query's outcome."""
+        engine = make_engine(execution_model, structure_costs, system,
+                             initial_credit=0.5,
+                             require_affordable_build=False)
+        outcomes = engine.process_workload(workload)
+        uncovered = [outcome for outcome in outcomes if outcome.uncovered_costs]
+        assert uncovered, "expected at least one capped withdrawal"
+        for outcome in uncovered:
+            assert outcome.uncovered_total > 0
+            for category, amount in outcome.uncovered_costs:
+                assert amount > 0
+                assert category in ("execution_cost", "structure_build")
+        # The account itself never went negative despite the shortfalls.
+        assert engine.account.credit >= 0.0
+
+    def test_fully_funded_run_reports_nothing(self, execution_model,
+                                              structure_costs, system,
+                                              workload):
+        engine = make_engine(execution_model, structure_costs, system,
+                             initial_credit=200.0)
+        outcomes = engine.process_workload(workload[:30])
+        assert all(outcome.uncovered_costs == () for outcome in outcomes)

@@ -1,0 +1,44 @@
+"""Smoke test: every example script runs to completion as a plain script.
+
+The examples double as executable documentation, so CI executes each one
+the way a reader would — ``python examples/<name>.py`` with no
+``PYTHONPATH`` exported (the scripts bootstrap ``src/`` themselves).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+_EXAMPLE_SCRIPTS = sorted(
+    name for name in os.listdir(_EXAMPLES_DIR)
+    if name.endswith(".py") and not name.startswith("_")
+)
+
+
+def test_every_example_is_covered():
+    """The parametrised list below must pick up newly added examples."""
+    assert "quickstart.py" in _EXAMPLE_SCRIPTS
+    assert "multi_tenant.py" in _EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", _EXAMPLE_SCRIPTS)
+def test_example_runs_without_pythonpath(script):
+    env = {key: value for key, value in os.environ.items()
+           if key != "PYTHONPATH"}
+    completed = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"

@@ -55,3 +55,33 @@ class TestEventQueue:
     def test_pop_from_empty_queue_raises(self):
         with pytest.raises(SimulationError):
             EventQueue().pop()
+
+
+class TestTenantEvents:
+    def test_tenant_events_require_an_id(self):
+        from repro.simulator.events import TenantArrivalEvent, TenantChurnEvent
+
+        with pytest.raises(SimulationError):
+            TenantArrivalEvent(time_s=0.0)
+        with pytest.raises(SimulationError):
+            TenantChurnEvent(time_s=0.0)
+
+    def test_same_instant_order_population_before_money_before_queries(self):
+        from repro.simulator.events import (
+            MaintenanceSettlementEvent,
+            TenantArrivalEvent,
+            TenantChurnEvent,
+        )
+
+        queue = EventQueue()
+        queue.push(make_arrival(1.0))
+        queue.push(MaintenanceSettlementEvent(time_s=1.0))
+        queue.push(TenantChurnEvent(time_s=1.0, tenant_id="old"))
+        queue.push(TenantArrivalEvent(time_s=1.0, tenant_id="new"))
+        kinds = [type(queue.pop()).__name__ for _ in range(4)]
+        assert kinds == [
+            "TenantArrivalEvent",       # replacement joins first
+            "TenantChurnEvent",         # then its predecessor leaves
+            "MaintenanceSettlementEvent",
+            "QueryArrivalEvent",
+        ]
