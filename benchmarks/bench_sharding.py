@@ -1,0 +1,144 @@
+"""Shard-scaling benchmark: one tenants cell at increasing shard counts.
+
+Runs the same population cell unsharded and at each requested shard
+count, verifies the merged tables stay byte-identical, and records the
+timings plus the *state-scaling* numbers that are the point of the
+replicated-replay design (per-worker owned tenant states shrink ~1/N
+even though each worker replays the full stream — see
+``docs/sharding.md``). Results land in ``BENCH_sharding.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py --tenants 200 --queries 400
+
+or via the pytest wrapper (``benchmarks/test_bench_sharding.py``), which
+uses a smaller population so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.tenants import (  # noqa: E402
+    TenantExperimentConfig,
+    run_tenant_cell,
+    tenant_aggregate_table,
+)
+from repro.sharding import ShardCoordinator  # noqa: E402
+
+#: Default artifact path: the repository root, as a first-class record.
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_sharding.json")
+
+
+def run_benchmark(tenant_count: int = 200, query_count: int = 400,
+                  shard_counts: Sequence[int] = (1, 2, 4),
+                  scheme: str = "econ-cheap", seed: int = 0,
+                  max_workers: Optional[int] = None) -> Dict:
+    """Time one cell unsharded and at each shard count; verify identity.
+
+    Args:
+        tenant_count: population size of the cell.
+        query_count: queries replayed per run.
+        shard_counts: shard counts to scale through.
+        scheme: the caching scheme under test.
+        seed: workload/population seed.
+        max_workers: process budget per sharded run; ``None`` uses one
+            worker per shard.
+
+    Returns:
+        The report dictionary written to ``BENCH_sharding.json``.
+    """
+    config = TenantExperimentConfig(
+        scheme=scheme, tenant_count=tenant_count, query_count=query_count,
+        interarrival_s=1.0, seed=seed,
+    )
+    started = time.perf_counter()
+    baseline = run_tenant_cell(config)
+    baseline_s = time.perf_counter() - started
+    baseline_table = tenant_aggregate_table(baseline)
+
+    runs: List[Dict] = []
+    for shards in shard_counts:
+        workers = shards if max_workers is None else max_workers
+        coordinator = ShardCoordinator(shards, max_workers=workers)
+        started = time.perf_counter()
+        report = coordinator.run_cell(config)
+        elapsed_s = time.perf_counter() - started
+        identical = tenant_aggregate_table(report.cell) == baseline_table
+        if not identical:  # a broken merge must not look like a fast one
+            raise AssertionError(
+                f"sharded table diverged from baseline at shards={shards}")
+        runs.append({
+            "shards": shards,
+            "max_workers": workers,
+            "elapsed_s": elapsed_s,
+            "queries_per_s": query_count / elapsed_s,
+            "speedup_vs_unsharded": baseline_s / elapsed_s,
+            "owned_tenants_per_shard": list(report.owned_tenants_per_shard),
+            "max_owned_tenant_states": max(report.owned_tenants_per_shard),
+            "barriers_verified": report.barriers_verified,
+            "max_conservation_residual": report.max_conservation_residual,
+            "byte_identical": identical,
+        })
+    return {
+        "benchmark": "sharding",
+        "scheme": scheme,
+        "tenant_count": tenant_count,
+        "query_count": query_count,
+        "seed": seed,
+        "python": platform.python_version(),
+        "unsharded": {
+            "elapsed_s": baseline_s,
+            "queries_per_s": query_count / baseline_s,
+            "tenant_states": baseline.population_size,
+        },
+        "runs": runs,
+    }
+
+
+def write_report(report: Dict, path: str = DEFAULT_OUTPUT) -> str:
+    """Write the report as pretty JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record shard-scaling throughput to BENCH_sharding.json")
+    parser.add_argument("--tenants", type=int, default=200)
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--scheme", default="econ-cheap")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        tenant_count=args.tenants, query_count=args.queries,
+        shard_counts=tuple(args.shards), scheme=args.scheme, seed=args.seed,
+    )
+    path = write_report(report, args.output)
+    for run in report["runs"]:
+        print(f"shards={run['shards']}: {run['elapsed_s']:.2f}s "
+              f"({run['queries_per_s']:.0f} q/s, max "
+              f"{run['max_owned_tenant_states']} tenant states/worker)")
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Pytest wrapper around the shard-scaling benchmark.
+
+Keeps the population small so the full suite stays fast, but exercises
+the real pipeline: process workers, settlement barriers, exact merge,
+and the ``BENCH_sharding.json`` artifact. ``pytest-benchmark`` times one
+representative sharded run so regressions in the coordination overhead
+show up next to the other component benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_sharding import run_benchmark, write_report
+
+from repro.experiments.tenants import TenantExperimentConfig
+from repro.sharding import ShardCoordinator
+
+
+def test_shard_scaling_report(output_dir):
+    report = run_benchmark(tenant_count=40, query_count=120,
+                           shard_counts=(1, 2), max_workers=2)
+    assert all(run["byte_identical"] for run in report["runs"])
+    assert all(run["max_conservation_residual"] < 1e-6
+               for run in report["runs"])
+    # Owned state shrinks as shards grow: that is the scaling axis.
+    assert (report["runs"][-1]["max_owned_tenant_states"]
+            < report["unsharded"]["tenant_states"])
+    path = write_report(report, f"{output_dir}/BENCH_sharding.json")
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["benchmark"] == "sharding"
+
+
+def test_sharded_cell_rate(benchmark):
+    config = TenantExperimentConfig(
+        scheme="econ-cheap", tenant_count=30, query_count=60,
+        interarrival_s=1.0, seed=0)
+    coordinator = ShardCoordinator(2, max_workers=1)
+    report = benchmark(lambda: coordinator.run_cell(config))
+    assert report.shard_count == 2

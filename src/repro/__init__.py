@@ -25,6 +25,7 @@ from repro.workload.query import Query, QueryTemplate
 from repro.simulator.simulation import CloudSimulation, SimulationConfig, run_scheme
 from repro.simulator.results import SimulationResult
 from repro.policies.factory import SCHEME_NAMES, build_scheme
+from repro.sharding import ShardCoordinator, TenantPartitioner
 
 __version__ = "0.1.0"
 
@@ -44,5 +45,7 @@ __all__ = [
     "run_scheme",
     "build_scheme",
     "SCHEME_NAMES",
+    "ShardCoordinator",
+    "TenantPartitioner",
     "__version__",
 ]

@@ -255,6 +255,37 @@ class TenantRegistry:
 
     # -- economy hooks ---------------------------------------------------------
 
+    @staticmethod
+    def derive_budget(profile: Optional[TenantProfile], query: Query,
+                      backend_price: float, backend_response_time_s: float,
+                      default_model: UserModel) -> BudgetFunction:
+        """The budget a (possibly unknown) profile yields for ``query``.
+
+        Pure: no registry state is read or written, so any replica holding
+        the same static profile derives the same curve — the property the
+        sharded execution layer's foreign-tenant path depends on. ``None``
+        behaves like a freshly auto-registered neutral profile.
+
+        Args:
+            profile: the issuing tenant's static profile, or ``None``.
+            query: the query being negotiated.
+            backend_price: reference price of back-end execution.
+            backend_response_time_s: reference back-end response time.
+            default_model: the engine's baseline user model.
+
+        Returns:
+            The tenant-adjusted :class:`~repro.economy.budget.BudgetFunction`.
+        """
+        model = default_model
+        if profile is not None and profile.user_model is not None:
+            model = profile.user_model
+        budget = model.budget_for(query, backend_price,
+                                  backend_response_time_s)
+        multiplier = 1.0 if profile is None else profile.budget_multiplier
+        if multiplier != 1.0:
+            budget = budget.scaled(multiplier)
+        return budget
+
     def budget_for(self, query: Query, backend_price: float,
                    backend_response_time_s: float,
                    default_model: UserModel) -> BudgetFunction:
@@ -276,12 +307,8 @@ class TenantRegistry:
         """
         state = self.ensure(query.tenant_id)
         state.queries_processed += 1
-        model = state.profile.user_model or default_model
-        budget = model.budget_for(query, backend_price, backend_response_time_s)
-        multiplier = state.profile.budget_multiplier
-        if multiplier != 1.0:
-            budget = budget.scaled(multiplier)
-        return budget
+        return self.derive_budget(state.profile, query, backend_price,
+                                  backend_response_time_s, default_model)
 
     def charge(self, tenant_id: str, amount: float, now: float = 0.0,
                note: str = "") -> None:

@@ -75,3 +75,13 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ShardingError(ReproError):
+    """A sharded run was mis-configured or its shards diverged.
+
+    Raised both for plain configuration mistakes (shard counts < 1, a
+    worker asked about a tenant it does not own) and — more seriously —
+    when the merge barrier detects that two shards disagree about a
+    replicated quantity, which means the simulation was not deterministic.
+    """

@@ -5,7 +5,9 @@ tenant population. Cells are independent — each rebuilds its system,
 population, and registry deterministically from the frozen config — so a
 multi-scheme run fans out over a ``ProcessPoolExecutor`` exactly like the
 figure grids, and the parallel tables are byte-identical to sequential
-ones.
+ones. With ``shards > 1`` each cell is additionally split into tenant
+shards executed through :mod:`repro.sharding` and merged exactly, which
+is byte-identical too.
 
 The per-tenant outputs join two sources: the step records (queries, cache
 hits, charges — available for every scheme) and the tenant registry
@@ -53,6 +55,7 @@ class TenantExperimentConfig:
     churn_period: int = 0
     churn_fraction: float = 0.1
     warmup_queries: int = 0
+    settlement_period_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEME_NAMES:
@@ -62,6 +65,8 @@ class TenantExperimentConfig:
             )
         if self.query_count <= 0:
             raise ExperimentError("query_count must be positive")
+        if self.settlement_period_s is not None and self.settlement_period_s <= 0:
+            raise ExperimentError("settlement_period_s must be positive")
 
     def population_spec(self) -> PopulationSpec:
         """The population half of the configuration."""
@@ -126,12 +131,15 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
             config.scheme, economic_config=EconomicSchemeConfig(tenants=registry)
         )
     simulation = CloudSimulation(
-        scheme, SimulationConfig(warmup_queries=config.warmup_queries)
+        scheme, SimulationConfig(
+            warmup_queries=config.warmup_queries,
+            settlement_period_s=config.settlement_period_s,
+        )
     )
     result = simulation.run(populated.queries,
                             tenant_lifecycle=populated.lifecycle)
 
-    breakdowns = _sorted_breakdowns(result.steps)
+    breakdowns = sorted_breakdowns(result.steps)
     wallets: Tuple[Tuple[str, float], ...] = ()
     if registry is not None:
         wallets = tuple(registry.credit_by_tenant().items())
@@ -145,8 +153,13 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
     )
 
 
-def _sorted_breakdowns(steps) -> Tuple[TenantBreakdown, ...]:
-    """Per-tenant breakdowns, busiest tenant first (ties by id)."""
+def sorted_breakdowns(steps) -> Tuple[TenantBreakdown, ...]:
+    """Per-tenant breakdowns, busiest tenant first (ties by id).
+
+    The ``(-query_count, tenant_id)`` key is a *total* order (ids are
+    unique), so any disjoint union of per-tenant breakdowns re-sorts to
+    the same sequence — the property the sharded merge relies on.
+    """
     from repro.simulator.metrics import breakdown_by_tenant
 
     breakdowns = breakdown_by_tenant(steps)
@@ -157,7 +170,8 @@ def _sorted_breakdowns(steps) -> Tuple[TenantBreakdown, ...]:
 
 
 def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
-                          jobs: Optional[int] = None) -> List[TenantCellResult]:
+                          jobs: Optional[int] = None,
+                          shards: Optional[int] = None) -> List[TenantCellResult]:
     """Run many population cells, optionally fanned over worker processes.
 
     Args:
@@ -165,6 +179,11 @@ def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
         jobs: worker processes; ``None`` or 1 runs sequentially. Results
             come back in ``configs`` order either way, and each cell is
             deterministic, so the parallel path is byte-identical.
+        shards: when > 1, each cell is additionally split into this many
+            tenant shards executed through :mod:`repro.sharding` and merged
+            exactly; the merged cells are byte-identical to the unsharded
+            ones. ``jobs`` then sizes the process pool the ``cells x
+            shards`` tasks share.
     """
     cells = list(configs)
     if not cells:
@@ -172,6 +191,15 @@ def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
     worker_count = 1 if jobs is None else int(jobs)
     if worker_count < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    shard_count = 1 if shards is None else int(shards)
+    if shard_count < 1:
+        raise ExperimentError(f"shards must be >= 1, got {shards}")
+    if shard_count > 1:
+        # Imported lazily: repro.sharding builds on this module.
+        from repro.sharding import ShardCoordinator
+
+        coordinator = ShardCoordinator(shard_count, max_workers=worker_count)
+        return [report.cell for report in coordinator.run_cells(cells)]
     if worker_count == 1 or len(cells) == 1:
         return [run_tenant_cell(config) for config in cells]
     with ProcessPoolExecutor(

@@ -1,0 +1,248 @@
+"""A tenant registry that *owns* only one shard of the population.
+
+The sharded execution model (see ``docs/sharding.md``) replays the full
+deterministic event stream in every worker but materialises mutable
+per-tenant state — wallet ledgers, per-tenant regret trackers, lifecycle
+flags — only for the tenants the worker's shard owns. That split is sound
+because of an invariant the engine already upholds: simulation *decisions*
+depend only on a tenant's static :class:`~repro.economy.tenancy.TenantProfile`
+(budget multiplier, optional user model), never on the tenant's mutable
+state. A wallet balance is pure accounting output; it cannot change which
+plan wins a negotiation.
+
+:class:`ShardScopedRegistry` therefore holds every profile (static, small)
+but answers the engine's hooks in two modes:
+
+* **owned tenant** — exactly the base :class:`TenantRegistry` behaviour:
+  state is materialised, charges hit the wallet, regret is recorded.
+* **foreign tenant** — the *decision-relevant* part is replicated bitwise
+  (the budget function is derived from the same profile the owning shard
+  uses), while the accounting part is skipped; the amount that would have
+  been charged is only tallied into :attr:`foreign_charged` for the
+  coordinator's cross-shard conservation audit.
+
+Materialising a foreign tenant's state is a bug by definition, so
+:meth:`ensure` raises for foreign ids rather than silently registering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.economy.budget import BudgetFunction
+from repro.economy.tenancy import TenantProfile, TenantRegistry, TenantState
+from repro.economy.user_model import UserModel
+from repro.errors import EconomyError, ShardingError
+from repro.sharding.partition import TenantPartitioner
+from repro.workload.query import Query
+
+
+class ShardScopedRegistry(TenantRegistry):
+    """A :class:`TenantRegistry` scoped to one shard of the population.
+
+    Args:
+        profiles: the **complete** population, in registration order (the
+            same order the unsharded run registers them in); every shard
+            receives all profiles but materialises only its own subset.
+        partitioner: the tenant → shard mapping shared by all workers.
+        shard_index: which shard this registry embodies.
+    """
+
+    def __init__(self, profiles: Sequence[TenantProfile],
+                 partitioner: TenantPartitioner, shard_index: int) -> None:
+        super().__init__()
+        partitioner.validate_index(shard_index)
+        self._partitioner = partitioner
+        self._shard_index = shard_index
+        self._all_profiles = {}
+        self._profile_index = {}
+        self._foreign_charged = 0.0
+        self._foreign_charge_count = 0
+        # Ad-hoc ids (outside the initial population) are indexed by first
+        # touch: every shard observes the same replicated call stream, so
+        # the counter advances identically everywhere and the merge can
+        # reproduce the unsharded registry's registration order exactly.
+        self._adhoc_index = {}
+        owned = []
+        for index, profile in enumerate(profiles):
+            if profile.tenant_id in self._all_profiles:
+                raise ShardingError(
+                    f"duplicate tenant id {profile.tenant_id!r} in population"
+                )
+            self._all_profiles[profile.tenant_id] = profile
+            self._profile_index[profile.tenant_id] = index
+            if partitioner.owns(shard_index, profile.tenant_id):
+                owned.append(profile)
+        # Ownership is consulted several times per query on the replay hot
+        # path; the population's split is frozen here so the common case is
+        # one set lookup instead of a fresh content hash.
+        self._owned_ids = frozenset(p.tenant_id for p in owned)
+        for profile in owned:
+            super().register(profile)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def partitioner(self) -> TenantPartitioner:
+        """The shared tenant → shard mapping."""
+        return self._partitioner
+
+    @property
+    def shard_index(self) -> int:
+        """Which shard this registry owns."""
+        return self._shard_index
+
+    @property
+    def population_size(self) -> int:
+        """Size of the full population (owned + foreign profiles)."""
+        return len(self._all_profiles)
+
+    @property
+    def foreign_charged(self) -> float:
+        """Dollars of charges observed for tenants other shards own.
+
+        The owning shard books each of these against the actual wallet;
+        this tally only exists so the coordinator can audit that every
+        charge was owned by exactly one shard.
+        """
+        return self._foreign_charged
+
+    @property
+    def foreign_charge_count(self) -> int:
+        """How many non-zero foreign charges were observed."""
+        return self._foreign_charge_count
+
+    def owns(self, tenant_id: str) -> bool:
+        """Whether this shard owns ``tenant_id``."""
+        if tenant_id in self._owned_ids:
+            return True
+        if tenant_id in self._all_profiles:
+            return False
+        return self._partitioner.owns(self._shard_index, tenant_id)
+
+    def _note_touch(self, tenant_id: str) -> None:
+        """Record first contact with an id outside the initial population.
+
+        Called on every hook a query stream can reach, owned or foreign,
+        so the counter is replicated bitwise across shards; the resulting
+        index orders ad-hoc wallets exactly like the unsharded registry's
+        registration order.
+        """
+        if tenant_id in self._all_profiles or tenant_id in self._adhoc_index:
+            return
+        self._adhoc_index[tenant_id] = len(self._adhoc_index)
+
+    # -- scoping guards --------------------------------------------------------
+
+    def register(self, profile: TenantProfile) -> TenantState:
+        """Register an ad-hoc owned tenant; foreign profiles are rejected."""
+        self._note_touch(profile.tenant_id)
+        if not self.owns(profile.tenant_id):
+            raise ShardingError(
+                f"tenant {profile.tenant_id!r} belongs to shard "
+                f"{self._partitioner.shard_of(profile.tenant_id)}, not "
+                f"{self._shard_index}; foreign state must never materialise"
+            )
+        return super().register(profile)
+
+    def ensure(self, tenant_id: str) -> TenantState:
+        """The owned tenant's state; raises for tenants of other shards.
+
+        Owned ids outside the initial population (e.g. the default tenant
+        in ad-hoc runs) still auto-register a neutral profile, exactly as
+        the base registry would.
+        """
+        self._note_touch(tenant_id)
+        if not self.owns(tenant_id):
+            raise ShardingError(
+                f"tenant {tenant_id!r} belongs to shard "
+                f"{self._partitioner.shard_of(tenant_id)}, not "
+                f"{self._shard_index}; foreign state must never materialise"
+            )
+        return super().ensure(tenant_id)
+
+    # -- lifecycle (foreign ids ignored) ---------------------------------------
+
+    def activate(self, tenant_id: str, now: float = 0.0) -> Optional[TenantState]:
+        """Activate an owned tenant; a foreign arrival is a no-op (``None``)."""
+        self._note_touch(tenant_id)
+        if not self.owns(tenant_id):
+            return None
+        return super().activate(tenant_id, now=now)
+
+    def deactivate(self, tenant_id: str, now: float = 0.0) -> Optional[TenantState]:
+        """Deactivate an owned tenant; a foreign churn is a no-op (``None``)."""
+        if not self.owns(tenant_id):
+            return None
+        return super().deactivate(tenant_id, now=now)
+
+    # -- economy hooks ---------------------------------------------------------
+
+    def budget_for(self, query: Query, backend_price: float,
+                   backend_response_time_s: float,
+                   default_model: UserModel) -> BudgetFunction:
+        """The issuing tenant's budget, identical on every shard.
+
+        For owned tenants this is the base implementation. For foreign
+        tenants the same curve is derived from the static profile without
+        touching any mutable state — bitwise the budget the owning shard
+        computes, which is what keeps all replicas on one trajectory.
+        """
+        self._note_touch(query.tenant_id)
+        if self.owns(query.tenant_id):
+            return super().budget_for(query, backend_price,
+                                      backend_response_time_s, default_model)
+        return self.derive_budget(
+            self._all_profiles.get(query.tenant_id), query, backend_price,
+            backend_response_time_s, default_model,
+        )
+
+    def charge(self, tenant_id: str, amount: float, now: float = 0.0,
+               note: str = "") -> None:
+        """Charge an owned wallet; tally (don't book) foreign charges."""
+        if amount < 0:
+            raise EconomyError(f"charge must be non-negative, got {amount}")
+        if amount == 0:
+            # Mirrors the base method, which returns before ensure(): a
+            # zero charge must not reserve an ad-hoc registration slot.
+            return
+        self._note_touch(tenant_id)
+        if self.owns(tenant_id):
+            super().charge(tenant_id, amount, now=now, note=note)
+            return
+        self._foreign_charged += amount
+        self._foreign_charge_count += 1
+
+    def record_regret(self, tenant_id: str, structures, amount: float,
+                      divide: bool = False) -> None:
+        """Record regret for owned tenants only (others own their mirror)."""
+        self._note_touch(tenant_id)
+        if not self.owns(tenant_id):
+            return
+        super().record_regret(tenant_id, structures, amount, divide=divide)
+
+    # -- merge support ---------------------------------------------------------
+
+    def owned_wallets(self) -> Tuple[Tuple[int, str, float], ...]:
+        """``(global registration index, tenant_id, credit)`` per owned tenant.
+
+        The index is the tenant's position in the full population, which is
+        the order the unsharded registry would report wallets in; carrying
+        it out of the worker lets the merge rebuild that exact order (id
+        strings alone would mis-sort once the population outgrows the
+        zero-padded id width). Ad-hoc tenants sort after the population in
+        global first-touch order — which every shard observes identically,
+        so the indices never collide across shards.
+        """
+        entries = []
+        base = len(self._all_profiles)
+        for state in self.states():
+            index = self._profile_index.get(state.tenant_id)
+            if index is None:
+                index = base + self._adhoc_index[state.tenant_id]
+            entries.append((index, state.tenant_id, state.account.credit))
+        return tuple(entries)
+
+    def owned_initial_credit(self) -> float:
+        """Seed credit of every owned wallet (the conserved input)."""
+        return sum(state.profile.initial_credit for state in self.states())

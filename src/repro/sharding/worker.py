@@ -1,0 +1,213 @@
+"""One shard's execution: a full deterministic replay with scoped ownership.
+
+A :class:`ShardWorker` rebuilds the populated workload from the frozen
+cell config (never pickling queries across the process boundary), runs the
+complete event stream through its own
+:class:`~repro.simulator.kernel.SimulationKernel` and
+:class:`~repro.economy.engine.EconomyEngine`, and owns — materialises
+mutable state and produces accounting for — only the tenants its shard is
+assigned by the :class:`~repro.sharding.partition.TenantPartitioner`.
+
+Because every worker replays the same deterministic stream, the shared
+trajectory (cache contents, provider account, negotiation outcomes) is
+bitwise identical across shards; only the *ownership* of the per-tenant
+outputs differs. At every maintenance settlement the worker snapshots a
+:class:`SettlementCheckpoint`; the coordinator later aligns these across
+shards, turning each settlement boundary into a determinism barrier and a
+credit-conservation audit point.
+
+``run_shard`` is a module-level function so tasks pickle cleanly into a
+``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.economy.account import CloudAccount
+from repro.errors import ShardingError
+from repro.experiments.tenants import (
+    TenantExperimentConfig,
+    build_population,
+    sorted_breakdowns,
+)
+from repro.policies.economic import EconomicSchemeConfig
+from repro.sharding.partition import TenantPartitioner
+from repro.sharding.registry import ShardScopedRegistry
+from repro.simulator.events import MaintenanceSettlementEvent, QueryArrivalEvent
+from repro.simulator.metrics import MetricsSummary, TenantBreakdown
+from repro.simulator.simulation import CloudSimulation, SimulationConfig
+from repro.system import CloudSystem
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker process needs: the cell config plus its slot."""
+
+    config: TenantExperimentConfig
+    shard_index: int
+    shard_count: int
+
+    def __post_init__(self) -> None:
+        TenantPartitioner(self.shard_count).validate_index(self.shard_index)
+
+
+@dataclass(frozen=True)
+class SettlementCheckpoint:
+    """One shard's snapshot at a settlement boundary.
+
+    ``time_s``, ``queries_dispatched``, ``provider_credit`` and
+    ``provider_query_payments`` describe the *replicated* trajectory and
+    must be bitwise identical on every shard; ``owned_wallet_credit`` and
+    ``owned_charged`` are the shard-local halves that only add up across
+    shards (the conservation audit).
+    """
+
+    time_s: float
+    queries_dispatched: int
+    provider_credit: float
+    provider_query_payments: float
+    owned_wallet_credit: float
+    owned_charged: float
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Everything one shard sends back to the coordinator."""
+
+    shard_index: int
+    shard_count: int
+    scheme: str
+    summary: MetricsSummary
+    tenants: Tuple[TenantBreakdown, ...]
+    wallets: Tuple[Tuple[int, str, float], ...]
+    owned_tenant_count: int
+    owned_initial_credit: float
+    foreign_charged: float
+    checkpoints: Tuple[SettlementCheckpoint, ...]
+    population_size: int
+    churn_waves: int
+
+
+class SettlementCheckpointRecorder:
+    """Read-only settlement observer: snapshots the two conservation sides."""
+
+    def __init__(self, registry: ShardScopedRegistry,
+                 account: CloudAccount) -> None:
+        self._registry = registry
+        self._account = account
+        self.checkpoints: List[SettlementCheckpoint] = []
+
+    def __call__(self, event, kernel) -> None:
+        self.checkpoints.append(self.snapshot(
+            time_s=event.time_s,
+            queries_dispatched=kernel.dispatch_count(QueryArrivalEvent),
+        ))
+
+    def snapshot(self, time_s: float,
+                 queries_dispatched: int) -> SettlementCheckpoint:
+        """Snapshot the accounts now (also used for the final barrier)."""
+        payments = self._account.totals_by_category().get(
+            CloudAccount.CATEGORY_QUERY_PAYMENT, 0.0)
+        return SettlementCheckpoint(
+            time_s=time_s,
+            queries_dispatched=queries_dispatched,
+            provider_credit=self._account.credit,
+            provider_query_payments=payments,
+            owned_wallet_credit=self._registry.total_credit(),
+            owned_charged=self._registry.total_charged(),
+        )
+
+
+class ShardWorker:
+    """Runs one :class:`ShardTask` end to end inside the current process."""
+
+    def __init__(self, task: ShardTask) -> None:
+        self._task = task
+        self._partitioner = TenantPartitioner(task.shard_count)
+
+    @property
+    def task(self) -> ShardTask:
+        """The task this worker executes."""
+        return self._task
+
+    def run(self) -> ShardResult:
+        """Replay the cell's event stream; account only the owned tenants."""
+        task = self._task
+        config = task.config
+        populated = build_population(config)
+        system = CloudSystem()
+
+        registry: Optional[ShardScopedRegistry] = None
+        recorder: Optional[SettlementCheckpointRecorder] = None
+        observers = []
+        if config.scheme == "bypass":
+            # The baseline runs no economy: there is nothing tenant-owned
+            # to scope, so the worker only filters the step accounting.
+            scheme = system.scheme(config.scheme)
+        else:
+            registry = ShardScopedRegistry(
+                populated.profiles, self._partitioner, task.shard_index)
+            scheme = system.scheme(
+                config.scheme,
+                economic_config=EconomicSchemeConfig(tenants=registry),
+            )
+            recorder = SettlementCheckpointRecorder(
+                registry, scheme.engine.account)
+            observers.append((MaintenanceSettlementEvent, recorder))
+
+        simulation = CloudSimulation(scheme, SimulationConfig(
+            warmup_queries=config.warmup_queries,
+            settlement_period_s=config.settlement_period_s,
+        ))
+        result = simulation.run(populated.queries,
+                                tenant_lifecycle=populated.lifecycle,
+                                observers=observers)
+
+        checkpoints: Tuple[SettlementCheckpoint, ...] = ()
+        if recorder is not None:
+            # The run always ends on one more barrier: the final fold the
+            # coordinator merges at, present even when the trailing
+            # settlement degenerated (single query, zero span).
+            final = recorder.snapshot(
+                time_s=result.summary.duration_s + populated.queries[0].arrival_time,
+                queries_dispatched=len(populated.queries),
+            )
+            checkpoints = tuple(recorder.checkpoints) + (final,)
+
+        owned = tuple(
+            item for item in sorted_breakdowns(result.steps)
+            if self._partitioner.owns(task.shard_index, item.tenant_id)
+        )
+        wallets: Tuple[Tuple[int, str, float], ...] = ()
+        owned_count = 0
+        owned_seed = 0.0
+        foreign_charged = 0.0
+        if registry is not None:
+            wallets = registry.owned_wallets()
+            owned_count = len(registry)
+            owned_seed = registry.owned_initial_credit()
+            foreign_charged = registry.foreign_charged
+
+        return ShardResult(
+            shard_index=task.shard_index,
+            shard_count=task.shard_count,
+            scheme=config.scheme,
+            summary=result.summary,
+            tenants=owned,
+            wallets=wallets,
+            owned_tenant_count=owned_count,
+            owned_initial_credit=owned_seed,
+            foreign_charged=foreign_charged,
+            checkpoints=checkpoints,
+            population_size=populated.tenant_count,
+            churn_waves=populated.churn_waves,
+        )
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Process-pool entry point: run one shard task to completion."""
+    if not isinstance(task, ShardTask):
+        raise ShardingError(f"expected a ShardTask, got {type(task).__name__}")
+    return ShardWorker(task).run()

@@ -95,7 +95,8 @@ def trailing_interval_for(queries: Sequence[Query]) -> float:
 def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
                  config: SimulationConfig,
                  phase_changes: Sequence = (),
-                 tenant_lifecycle: Sequence = ()) -> Dict[str, SimulationResult]:
+                 tenant_lifecycle: Sequence = (),
+                 observers: Sequence = ()) -> Dict[str, SimulationResult]:
     """Shared kernel assembly: run ``schemes`` over one workload and clock."""
     query_list = list(queries)
     if not query_list:
@@ -126,6 +127,13 @@ def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
     rescheduler = PeriodicRescheduler(horizon_s=end_s)
     kernel.register(MaintenanceSettlementEvent, rescheduler)
     kernel.register(StructureFailureCheckEvent, rescheduler)
+
+    # Observers register last: registration order is dispatch order, so an
+    # observer of a settlement event always sees fully settled state. They
+    # must be read-only — the sharding layer's determinism barrier relies
+    # on observed runs being bitwise identical to unobserved ones.
+    for event_type, handler in observers:
+        kernel.register(event_type, handler)
 
     kernel.schedule_all(
         QueryArrivalEvent(time_s=query.arrival_time, query=query)
@@ -188,7 +196,8 @@ class CloudSimulation:
 
     def run(self, queries: Sequence[Query],
             phase_changes: Sequence = (),
-            tenant_lifecycle: Sequence = ()) -> SimulationResult:
+            tenant_lifecycle: Sequence = (),
+            observers: Sequence = ()) -> SimulationResult:
         """Process all queries in arrival order and return the result.
 
         Args:
@@ -200,10 +209,15 @@ class CloudSimulation:
                 :mod:`repro.workload.population`), scheduled as
                 :class:`~repro.simulator.events.TenantArrivalEvent` /
                 :class:`~repro.simulator.events.TenantChurnEvent`.
+            observers: optional ``(event type, handler)`` pairs registered
+                on the kernel after all built-in handlers; read-only hooks
+                used e.g. by :mod:`repro.sharding` to snapshot state at
+                settlement boundaries.
         """
         results = _run_tenants([self._scheme], queries, self._config,
                                phase_changes=phase_changes,
-                               tenant_lifecycle=tenant_lifecycle)
+                               tenant_lifecycle=tenant_lifecycle,
+                               observers=observers)
         return results[self._scheme.name]
 
 
@@ -233,11 +247,13 @@ class MultiSchemeSimulation:
 
     def run(self, queries: Sequence[Query],
             phase_changes: Sequence = (),
-            tenant_lifecycle: Sequence = ()) -> Dict[str, SimulationResult]:
+            tenant_lifecycle: Sequence = (),
+            observers: Sequence = ()) -> Dict[str, SimulationResult]:
         """Run every scheme over ``queries``; results keyed by scheme name."""
         return _run_tenants(self._schemes, queries, self._config,
                             phase_changes=phase_changes,
-                            tenant_lifecycle=tenant_lifecycle)
+                            tenant_lifecycle=tenant_lifecycle,
+                            observers=observers)
 
 
 def run_scheme(scheme: CachingScheme, queries: Iterable[Query],
