@@ -1,0 +1,54 @@
+"""Pytest wrapper around the partitioned-cache scaling benchmark.
+
+Keeps the population small so the full suite stays fast, but exercises
+the real pipeline: both execution modes at both scales, barrier audits,
+and the ``BENCH_distcache.json`` artifact, including the acceptance
+gate — partitioned per-query throughput must exceed the replicated
+replay at 2+ partitions, because the replicated mode re-runs every query
+on every worker and the partitioned mode does not.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_distcache import run_benchmark, write_report
+
+from repro.distcache import run_partitioned_cell
+from repro.experiments.tenants import TenantExperimentConfig
+
+
+def test_distcache_scaling_report(output_dir):
+    report = run_benchmark(tenant_count=30, query_count=120,
+                           partition_counts=(1, 2),
+                           settlement_period_s=20.0)
+    by_mode = {}
+    for run in report["runs"]:
+        by_mode[(run["benchmark_mode"], run["partitions"])] = run
+
+    # The headline claim: at 2 partitions the partitioned mode's
+    # per-query throughput beats the replicated replay (which does the
+    # engine work twice).
+    assert (by_mode[("partitioned", 2)]["queries_per_s"]
+            > by_mode[("replicated", 2)]["queries_per_s"])
+    assert (by_mode[("partitioned", 2)]["engine_queries"]
+            < by_mode[("replicated", 2)]["engine_queries"])
+    # The cache-footprint claim: each partitioned worker holds only its
+    # slice, while every replicated worker materialises the full cache.
+    assert (by_mode[("partitioned", 2)]["peak_worker_cache_bytes"]
+            < by_mode[("replicated", 2)]["peak_worker_cache_bytes"])
+    # Audits ran at every barrier.
+    assert by_mode[("partitioned", 2)]["barriers_verified"] > 0
+
+    path = write_report(report, f"{output_dir}/BENCH_distcache.json")
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["benchmark"] == "distcache"
+
+
+def test_partitioned_cell_rate(benchmark):
+    config = TenantExperimentConfig(
+        scheme="econ-cheap", tenant_count=30, query_count=60,
+        interarrival_s=1.0, seed=0, settlement_period_s=20.0)
+    report = benchmark(lambda: run_partitioned_cell(
+        config, partitions=2, compare_baseline=False))
+    assert report.partition_count == 2

@@ -26,6 +26,11 @@ from repro.simulator.simulation import CloudSimulation, SimulationConfig, run_sc
 from repro.simulator.results import SimulationResult
 from repro.policies.factory import SCHEME_NAMES, build_scheme
 from repro.sharding import ShardCoordinator, TenantPartitioner
+from repro.distcache import (
+    DistCacheRunner,
+    StructurePartitioner,
+    run_partitioned_cell,
+)
 
 __version__ = "0.1.0"
 
@@ -47,5 +52,8 @@ __all__ = [
     "SCHEME_NAMES",
     "ShardCoordinator",
     "TenantPartitioner",
+    "DistCacheRunner",
+    "StructurePartitioner",
+    "run_partitioned_cell",
     "__version__",
 ]

@@ -70,6 +70,7 @@ class CacheManager:
         self._entries: Dict[str, CacheEntry] = {}
         self._lru: LruTracker[str] = LruTracker()
         self._evictions: List[EvictionRecord] = []
+        self._peak_disk_used_bytes = 0
 
     # -- introspection ------------------------------------------------------------
 
@@ -97,6 +98,16 @@ class CacheManager:
     def disk_used_bytes(self) -> int:
         """Total disk footprint of the built structures."""
         return sum(entry.size_bytes for entry in self._entries.values())
+
+    @property
+    def peak_disk_used_bytes(self) -> int:
+        """Largest disk footprint the cache ever reached.
+
+        Scaling runs compare this across execution modes: a replicated
+        cache peaks at the full working set on every worker, a partitioned
+        one only at its owned slice.
+        """
+        return self._peak_disk_used_bytes
 
     def contains(self, key: str) -> bool:
         """Whether a structure with the given key is built."""
@@ -151,6 +162,8 @@ class CacheManager:
         )
         self._entries[structure.key] = entry
         self._lru.touch(structure.key)
+        self._peak_disk_used_bytes = max(self._peak_disk_used_bytes,
+                                         self.disk_used_bytes)
         return evicted
 
     # -- usage and billing --------------------------------------------------------------

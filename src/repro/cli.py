@@ -9,6 +9,7 @@ Exposes the experiment drivers without writing any Python::
     python -m repro.cli scenario --arrival diurnal --scheme econ-cheap
     python -m repro.cli tenants --n-tenants 100 --jobs 4
     python -m repro.cli tenants --n-tenants 1000 --shards 4 --jobs 4
+    python -m repro.cli tenants --cache-partitions 4 --settlement-period 60
     python -m repro.cli describe
 
 Every subcommand prints a plain-text table to stdout. ``--jobs N`` fans
@@ -21,6 +22,13 @@ reports per-tenant credit/hit-rate aggregates. ``tenants --shards N``
 additionally splits each scheme cell into N tenant shards executed
 through :mod:`repro.sharding` (``--jobs`` sizes the pool those shard
 tasks share); the merged tables are byte-identical to the unsharded run.
+``tenants --cache-partitions N`` instead partitions the *cache and
+provider economy* across N workers through :mod:`repro.distcache` —
+explicitly different semantics (remote hits, epoch-consistent directory);
+the report gains per-partition and divergence-vs-global sections, and
+``--cache-partitions 1`` is byte-identical to the normal path. The two
+modes are alternatives: ``--shards`` and ``--cache-partitions`` cannot
+both exceed 1.
 """
 
 from __future__ import annotations
@@ -30,6 +38,12 @@ import sys
 import warnings
 from typing import List, Optional, Sequence
 
+from repro.distcache import (
+    PartitionImbalanceWarning,
+    distcache_divergence_table,
+    distcache_partition_table,
+    run_partitioned_experiment,
+)
 from repro.errors import ReproError
 from repro.sharding import ShardImbalanceWarning
 
@@ -81,7 +95,8 @@ _ABLATIONS = {
 
 
 def _positive_int(text: str) -> int:
-    """Argparse type for ``--jobs`` / ``--shards``: an integer >= 1.
+    """Argparse type for ``--jobs``/``--shards``/``--cache-partitions``:
+    an integer >= 1.
 
     Raising :class:`argparse.ArgumentTypeError` makes argparse print a
     friendly ``error: argument --jobs: ...`` line and exit with code 2,
@@ -190,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "replayed deterministically and merged exactly; "
                               "the tables are byte-identical to --shards 1 "
                               "(default: 1, unsharded)")
+    tenants.add_argument("--cache-partitions", type=_positive_int, default=1,
+                         metavar="N",
+                         help="partition the cache and provider economy "
+                              "across N workers (repro.distcache) — "
+                              "explicitly different semantics for N > 1; "
+                              "adds per-partition and divergence report "
+                              "sections, mutually exclusive with --shards "
+                              "(default: 1, global cache)")
 
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
@@ -247,12 +270,40 @@ def _scenario_command(args: argparse.Namespace) -> str:
     return format_table(headers, rows, title=title)
 
 
+#: Library warnings the CLI re-renders as plain ``warning:`` stderr lines.
+_RENDERED_WARNINGS = (ShardImbalanceWarning, PartitionImbalanceWarning)
+
+
+def _render_warnings(caught: List[warnings.WarningMessage]) -> None:
+    """Re-render known run-layout warnings; re-emit everything else.
+
+    The imbalance warnings of the sharding and cache-partitioning layers
+    become plain ``warning:`` stderr lines; anything else recorded is
+    re-emitted afterwards with its original metadata, so unrelated
+    warnings keep their normal behaviour. Callers should record with the
+    "default" filter on the rendered categories, which dedupes repeats —
+    one imbalance prints once however many cells trigger it.
+    """
+    for entry in caught:
+        if issubclass(entry.category, _RENDERED_WARNINGS):
+            print(f"warning: {entry.message}", file=sys.stderr)
+        else:
+            warnings.warn_explicit(entry.message, entry.category,
+                                   entry.filename, entry.lineno)
+
+
 def _tenants_command(args: argparse.Namespace) -> str:
     names = (list(SCHEME_NAMES) if args.schemes == "all"
              else [name.strip() for name in args.schemes.split(",")
                    if name.strip()])
     if not names:
         raise ReproError("--schemes selects no scheme")
+    if args.cache_partitions > 1 and args.shards > 1:
+        raise ReproError(
+            "--cache-partitions and --shards are alternative scaling modes "
+            "and cannot both exceed 1 (see docs/distcache.md for when to "
+            "prefer which)"
+        )
     configs = [
         TenantExperimentConfig(
             scheme=name,
@@ -269,26 +320,30 @@ def _tenants_command(args: argparse.Namespace) -> str:
         )
         for name in names
     ]
-    # Re-render the library's imbalance warning as a plain "warning:"
-    # stderr line; anything else recorded is re-emitted afterwards with
-    # its original metadata, so unrelated warnings keep their normal
-    # behaviour. The "default" filter dedupes repeats, so one imbalance
-    # prints once however many scheme cells trigger it.
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("default", ShardImbalanceWarning)
-        results = run_tenant_experiment(configs, jobs=args.jobs,
-                                        shards=args.shards)
-    for entry in caught:
-        if issubclass(entry.category, ShardImbalanceWarning):
-            print(f"warning: {entry.message}", file=sys.stderr)
-        else:
-            warnings.warn_explicit(entry.message, entry.category,
-                                   entry.filename, entry.lineno)
     sections: List[str] = []
-    for result in results:
-        sections.append(tenant_aggregate_table(result))
-        if args.top > 0:
-            sections.append(top_tenant_table(result, limit=args.top))
+    with warnings.catch_warnings(record=True) as caught:
+        for category in _RENDERED_WARNINGS:
+            warnings.simplefilter("default", category)
+        if args.cache_partitions > 1:
+            reports = run_partitioned_experiment(
+                configs, partitions=args.cache_partitions, jobs=args.jobs)
+            for report in reports:
+                sections.append(tenant_aggregate_table(report.cell))
+                if args.top > 0:
+                    sections.append(top_tenant_table(report.cell,
+                                                     limit=args.top))
+                sections.append(distcache_partition_table(report))
+                divergence = distcache_divergence_table(report)
+                if divergence is not None:
+                    sections.append(divergence)
+        else:
+            results = run_tenant_experiment(configs, jobs=args.jobs,
+                                            shards=args.shards)
+            for result in results:
+                sections.append(tenant_aggregate_table(result))
+                if args.top > 0:
+                    sections.append(top_tenant_table(result, limit=args.top))
+    _render_warnings(caught)
     return "\n\n".join(sections)
 
 

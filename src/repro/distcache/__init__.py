@@ -1,0 +1,93 @@
+"""Partitioned cache & provider economy: scale per-query compute.
+
+Where :mod:`repro.sharding` replicates the full replay on every worker
+(scaling per-worker *tenant state* while the shared cache couples all
+tenants), this subsystem partitions the cache and the provider economy
+themselves: a stable hash assigns every structure key to exactly one
+partition (:class:`StructurePartitioner`), queries route to partitions by
+template affinity (:class:`QueryRouter`), each partition runs its own
+:class:`PartitionedCacheManager` and provider sub-account, and a
+:class:`CrossShardDirectory` published at every settlement barrier lets
+partitions use each other's structures for a modeled remote-access
+surcharge (:class:`RemoteAccessModel`). Each query is planned, priced,
+and negotiated by exactly one partition — per-query compute stays flat as
+partitions are added, instead of multiplying.
+
+The price is **new, explicitly different semantics** (epoch-consistent
+directory, remote hits, owned-only investment) — see ``docs/distcache.md``
+for the contract, the bitwise conservation audits, and when to prefer the
+replicated mode. With one partition the mode degenerates exactly: the
+report tables are byte-identical to the global-cache path.
+
+Typical use, directly or through ``repro.cli tenants --cache-partitions N``::
+
+    from repro.distcache import run_partitioned_cell
+    from repro.experiments.tenants import TenantExperimentConfig
+
+    report = run_partitioned_cell(
+        TenantExperimentConfig(tenant_count=200, settlement_period_s=60.0),
+        partitions=4, max_workers=4)
+    report.cell                 # merged TenantCellResult
+    report.barriers_verified    # audited settlement barriers
+    report.baseline             # global-cache summary for the same seed
+"""
+
+from repro.distcache.directory import CrossShardDirectory, DirectoryEntry
+from repro.distcache.engine import (
+    PartitionedEconomyEngine,
+    RemoteAccessModel,
+)
+from repro.distcache.manager import PartitionedCacheManager
+from repro.distcache.merge import (
+    PartitionCheckpoint,
+    ledger_fold,
+    merge_partition_results,
+    outcome_charge_fold,
+    verify_payment_conservation,
+    verify_subaccount_integrity,
+    verify_wallet_integrity,
+)
+from repro.distcache.partition import QueryRouter, StructurePartitioner
+from repro.distcache.report import (
+    distcache_divergence_table,
+    distcache_partition_table,
+)
+from repro.distcache.runner import (
+    DistCacheCellReport,
+    DistCacheRunner,
+    PartitionEpochResult,
+    PartitionEpochTask,
+    PartitionImbalanceWarning,
+    PartitionRunStats,
+    run_partition_epoch,
+    run_partitioned_cell,
+    run_partitioned_experiment,
+)
+
+__all__ = [
+    "CrossShardDirectory",
+    "DirectoryEntry",
+    "DistCacheCellReport",
+    "DistCacheRunner",
+    "PartitionCheckpoint",
+    "PartitionEpochResult",
+    "PartitionEpochTask",
+    "PartitionImbalanceWarning",
+    "PartitionRunStats",
+    "PartitionedCacheManager",
+    "PartitionedEconomyEngine",
+    "QueryRouter",
+    "RemoteAccessModel",
+    "StructurePartitioner",
+    "distcache_divergence_table",
+    "distcache_partition_table",
+    "ledger_fold",
+    "merge_partition_results",
+    "outcome_charge_fold",
+    "run_partition_epoch",
+    "run_partitioned_cell",
+    "run_partitioned_experiment",
+    "verify_payment_conservation",
+    "verify_subaccount_integrity",
+    "verify_wallet_integrity",
+]

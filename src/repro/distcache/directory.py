@@ -1,0 +1,183 @@
+"""The cross-shard directory: who holds which structure, published at barriers.
+
+Every partition plans queries against its **local** cache plus this
+directory — an immutable snapshot of what the *other* partitions held at
+the last settlement barrier. A directory hit is not a local hit: the
+structure can be used without building it, but each access pays the
+remote surcharge of :class:`~repro.distcache.engine.RemoteAccessModel`.
+
+The directory is the explicitly weaker half of the partitioned-mode
+semantics contract (``docs/distcache.md``):
+
+* **Epoch consistency** — a structure built mid-epoch becomes visible to
+  other partitions only at the next barrier; one evicted mid-epoch may
+  still be advertised until then. Within an epoch every partition prices
+  against the same frozen snapshot, which is what keeps the run
+  deterministic regardless of worker scheduling.
+* **Ownership consistency** — these invariants are *not* relaxed and are
+  re-verified at every publication: a key appears in at most one
+  partition's snapshot, the holder is the key's hash-owner under the
+  :class:`~repro.distcache.partition.StructurePartitioner`, and every
+  entry is backed by a structure that was live at the snapshot instant.
+
+Example:
+    >>> from repro.distcache.partition import StructurePartitioner
+    >>> partitioner = StructurePartitioner(partition_count=2)
+    >>> key = "column:lineitem.l_quantity"
+    >>> owner = partitioner.partition_of(key)
+    >>> directory = CrossShardDirectory.publish(
+    ...     {owner: [(key, 1024)]}, partitioner)
+    >>> directory.contains(key), directory.owner_of(key) == owner
+    (True, True)
+    >>> directory.remote_entry(key, viewer=owner) is None
+    True
+    >>> other = 1 - owner
+    >>> directory.remote_entry(key, viewer=other).size_bytes
+    1024
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.distcache.partition import StructurePartitioner
+from repro.errors import DistCacheError
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """One advertised structure: its key, its owner, and its footprint."""
+
+    key: str
+    partition: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise DistCacheError("directory entry key must not be empty")
+        if self.size_bytes < 0:
+            raise DistCacheError("directory entry size_bytes must be >= 0")
+
+
+class CrossShardDirectory:
+    """An immutable snapshot of every partition's live structures.
+
+    Build one with :meth:`publish` (which verifies the ownership
+    invariants) or start from :meth:`empty`; instances are picklable and
+    safe to share read-only across partition workers.
+    """
+
+    def __init__(self, entries: Mapping[str, DirectoryEntry],
+                 version: int = 0) -> None:
+        self._entries: Dict[str, DirectoryEntry] = dict(entries)
+        self._version = version
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "CrossShardDirectory":
+        """The pre-first-barrier directory: nothing is advertised yet."""
+        return cls({}, version=0)
+
+    @classmethod
+    def publish(cls, snapshots: Mapping[int, Sequence[Tuple[str, int]]],
+                partitioner: StructurePartitioner,
+                version: int = 1) -> "CrossShardDirectory":
+        """Build a directory from per-partition ``(key, size_bytes)`` snapshots.
+
+        Args:
+            snapshots: for each partition index, the structures it holds
+                *right now* — i.e. taken at the barrier, so every entry is
+                backed by a live owner by construction, and re-verified here.
+            partitioner: the structure → partition mapping of the run.
+            version: monotonically increasing epoch number (for audits).
+
+        Raises:
+            DistCacheError: if a key is reported by two partitions, or by
+                a partition that is not its hash-owner.
+        """
+        entries: Dict[str, DirectoryEntry] = {}
+        for partition, keys in sorted(snapshots.items()):
+            partitioner.validate_index(partition)
+            for key, size_bytes in keys:
+                if key in entries:
+                    raise DistCacheError(
+                        f"directory consistency violated: {key!r} reported "
+                        f"by partitions {entries[key].partition} and "
+                        f"{partition}"
+                    )
+                if not partitioner.owns(partition, key):
+                    raise DistCacheError(
+                        f"directory consistency violated: {key!r} held by "
+                        f"partition {partition} but owned by "
+                        f"{partitioner.partition_of(key)}"
+                    )
+                entries[key] = DirectoryEntry(
+                    key=key, partition=partition, size_bytes=size_bytes,
+                )
+        return cls(entries, version=version)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def version(self) -> int:
+        """The barrier epoch this snapshot was published at (0 = empty)."""
+        return self._version
+
+    @property
+    def entries(self) -> Tuple[DirectoryEntry, ...]:
+        """Every advertised entry (stable order: publication order)."""
+        return tuple(self._entries.values())
+
+    def contains(self, key: str) -> bool:
+        """Whether any partition advertised ``key`` at the last barrier."""
+        return key in self._entries
+
+    def entry(self, key: str) -> DirectoryEntry:
+        """The entry for ``key`` or raise :class:`DistCacheError`."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise DistCacheError(f"structure not in directory: {key!r}") from None
+
+    def owner_of(self, key: str) -> int:
+        """The partition advertising ``key`` (raises when not advertised)."""
+        return self.entry(key).partition
+
+    def remote_entry(self, key: str, viewer: int) -> Optional[DirectoryEntry]:
+        """The entry for ``key`` if it lives on a partition other than
+        ``viewer``; ``None`` when unadvertised or held by the viewer itself."""
+        entry = self._entries.get(key)
+        if entry is None or entry.partition == viewer:
+            return None
+        return entry
+
+    def entries_of(self, partition: int) -> Tuple[DirectoryEntry, ...]:
+        """Every entry advertised by one partition (insertion order)."""
+        return tuple(entry for entry in self._entries.values()
+                     if entry.partition == partition)
+
+    def verify_backed_by(self, live_keys_by_partition:
+                         Mapping[int, Sequence[str]]) -> None:
+        """Audit that every entry's owner still holds the structure.
+
+        Called with live snapshots at the barrier the directory was
+        published from; a stale entry means the publication protocol was
+        violated (entries are rebuilt from live state each barrier, so
+        this should be impossible — the audit keeps it that way).
+
+        Raises:
+            DistCacheError: on the first entry without a live owner.
+        """
+        live = {partition: frozenset(keys)
+                for partition, keys in live_keys_by_partition.items()}
+        for key, entry in self._entries.items():
+            if key not in live.get(entry.partition, frozenset()):
+                raise DistCacheError(
+                    f"directory entry {key!r} is not backed by a live "
+                    f"structure on its owner partition {entry.partition}"
+                )

@@ -1,0 +1,142 @@
+"""A cache manager that owns exactly one partition of the structure keys.
+
+:class:`PartitionedCacheManager` **is** a
+:class:`~repro.cache.manager.CacheManager` — LRU capacity eviction,
+idle-failure eviction, the ``min_residency_s`` grace, maintenance accrual
+and amortisation bookkeeping are all inherited, not forked — with two
+additions:
+
+* an **ownership guard**: admitting a structure whose key hashes to a
+  different partition raises, so the disjointness the directory and the
+  exact merges rely on cannot be violated silently;
+* a **directory view**: the current
+  :class:`~repro.distcache.directory.CrossShardDirectory` snapshot, from
+  which :meth:`remote_entry` answers "does this structure exist on some
+  other partition?" for the pricing and investment layers.
+
+Example:
+    >>> from repro.distcache.partition import StructurePartitioner
+    >>> partitioner = StructurePartitioner(partition_count=2)
+    >>> cache = PartitionedCacheManager(partitioner=partitioner,
+    ...                                 partition_index=0)
+    >>> cache.partition_index
+    0
+    >>> cache.directory.version
+    0
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.cache.storage import EvictionRecord
+from repro.distcache.directory import CrossShardDirectory, DirectoryEntry
+from repro.distcache.partition import StructurePartitioner
+from repro.errors import DistCacheError
+from repro.structures.base import CacheStructure
+
+
+class PartitionedCacheManager(CacheManager):
+    """A :class:`CacheManager` scoped to one partition of the key space.
+
+    Args:
+        config: the usual cache capacity/eviction settings, applied to
+            this partition's local budget.
+        partitioner: the structure → partition mapping shared by all
+            partitions of the run.
+        partition_index: which partition this cache embodies.
+        directory: the initial directory snapshot (defaults to empty).
+    """
+
+    def __init__(self, config: CacheConfig = CacheConfig(), *,
+                 partitioner: StructurePartitioner,
+                 partition_index: int,
+                 directory: Optional[CrossShardDirectory] = None) -> None:
+        super().__init__(config)
+        partitioner.validate_index(partition_index)
+        self._partitioner = partitioner
+        self._partition_index = partition_index
+        self._directory = directory or CrossShardDirectory.empty()
+        self._remote_column_keys = self._scan_remote_columns(self._directory)
+
+    # -- partition introspection ----------------------------------------------
+
+    @property
+    def partitioner(self) -> StructurePartitioner:
+        """The shared structure → partition mapping."""
+        return self._partitioner
+
+    @property
+    def partition_index(self) -> int:
+        """Which partition this cache owns."""
+        return self._partition_index
+
+    @property
+    def directory(self) -> CrossShardDirectory:
+        """The directory snapshot currently in force (read-only view)."""
+        return self._directory
+
+    def set_directory(self, directory: CrossShardDirectory) -> None:
+        """Install the snapshot published at the latest settlement barrier."""
+        self._directory = directory
+        self._remote_column_keys = self._scan_remote_columns(directory)
+
+    def _scan_remote_columns(self, directory: CrossShardDirectory
+                             ) -> FrozenSet[str]:
+        """Advertised column keys held by other partitions.
+
+        Snapshots are immutable, so the scan runs once per installation
+        instead of once per pricing/investment lookup.
+        """
+        return frozenset(
+            entry.key for entry in directory.entries
+            if entry.partition != self._partition_index
+            and entry.key.startswith("column:")
+        )
+
+    @property
+    def remote_column_keys(self) -> FrozenSet[str]:
+        """Column keys readable remotely under the current snapshot."""
+        return self._remote_column_keys
+
+    def owns(self, key: str) -> bool:
+        """Whether this partition is the hash-owner of structure ``key``."""
+        return self._partitioner.owns(self._partition_index, key)
+
+    def remote_entry(self, key: str) -> Optional[DirectoryEntry]:
+        """``key``'s directory entry on another partition, if advertised.
+
+        Local presence wins: a key this cache holds is never "remote",
+        and the directory cannot advertise it elsewhere (ownership is
+        verified at publication).
+        """
+        if self.contains(key):
+            return None
+        return self._directory.remote_entry(key, viewer=self._partition_index)
+
+    def snapshot(self) -> Tuple[Tuple[str, int], ...]:
+        """``(key, size_bytes)`` of every live structure, for publication."""
+        return tuple((entry.key, entry.size_bytes)
+                     for entry in self.entries)
+
+    # -- guarded admission -----------------------------------------------------
+
+    def admit(self, structure: CacheStructure, size_bytes: int,
+              build_cost: float, maintenance_rate: float,
+              now: float) -> List[EvictionRecord]:
+        """Admit an owned structure (see :meth:`CacheManager.admit`).
+
+        Raises:
+            DistCacheError: if the structure's key hashes to another
+                partition — foreign state must never materialise locally.
+        """
+        if not self.owns(structure.key):
+            raise DistCacheError(
+                f"structure {structure.key!r} belongs to partition "
+                f"{self._partitioner.partition_of(structure.key)}, not "
+                f"{self._partition_index}; foreign structures must never "
+                f"be admitted locally"
+            )
+        return super().admit(structure, size_bytes, build_cost,
+                             maintenance_rate, now)

@@ -1,0 +1,136 @@
+"""Deterministic structure → partition and query → partition assignment.
+
+Two mappings define a partitioned run, both built on the stable content
+hash of :mod:`repro.partitioning` (the helper shared with tenant
+sharding, so the two layers cannot drift):
+
+* :class:`StructurePartitioner` — which cache partition **owns** a
+  structure key. Only the owner may build, hold, bill, or evict the
+  structure; every other partition sees it through the
+  :class:`~repro.distcache.directory.CrossShardDirectory` and pays a
+  remote-access surcharge to use it. Ownership disjointness is what makes
+  the per-partition caches and provider sub-accounts mergeable exactly.
+* :class:`QueryRouter` — which partition **serves** a query. Routing is
+  by template affinity (stable hash of the template name): queries
+  instantiated from one template touch the same columns and indexes, so
+  sending a template always to the same partition maximises the chance
+  that the structures it wants are owned locally. This is the axis that
+  scales per-query compute — each query is planned, priced, and
+  negotiated by exactly one partition, where the replicated-replay
+  sharding mode re-runs every query on every worker.
+
+Example:
+    >>> partitioner = StructurePartitioner(partition_count=4)
+    >>> 0 <= partitioner.partition_of("column:lineitem.l_quantity") < 4
+    True
+    >>> partitioner.partition_of("x") == StructurePartitioner(4).partition_of("x")
+    True
+    >>> StructurePartitioner(1).partition_of("anything")
+    0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import DistCacheError
+from repro.partitioning import partition_index
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class StructurePartitioner:
+    """Maps structure keys onto ``partition_count`` partitions by stable hash.
+
+    Frozen (hashable, picklable) so it can ride inside a partition task to
+    a worker process and be reconstructed bit-for-bit on the other side.
+
+    Attributes:
+        partition_count: number of cache partitions; any count >= 1 is valid.
+    """
+
+    partition_count: int
+
+    def __post_init__(self) -> None:
+        if self.partition_count < 1:
+            raise DistCacheError(
+                f"partition_count must be >= 1, got {self.partition_count}"
+            )
+
+    def partition_of(self, key: str) -> int:
+        """The partition that owns structure ``key`` (stable across processes)."""
+        if not key:
+            raise DistCacheError("structure key must not be empty")
+        return partition_index(key, self.partition_count)
+
+    def owns(self, partition: int, key: str) -> bool:
+        """Whether ``partition`` is the owner of structure ``key``."""
+        self.validate_index(partition)
+        return self.partition_of(key) == partition
+
+    def validate_index(self, partition: int) -> int:
+        """Check a partition index is in range; returns it for chaining."""
+        if not 0 <= partition < self.partition_count:
+            raise DistCacheError(
+                f"partition index must be in [0, {self.partition_count}), "
+                f"got {partition}"
+            )
+        return partition
+
+    def assignment(self, keys: Iterable[str]) -> Dict[str, int]:
+        """``key -> partition`` for every key, in input order."""
+        return {key: self.partition_of(key) for key in keys}
+
+
+@dataclass(frozen=True)
+class QueryRouter:
+    """Routes queries to partitions by stable hash of their template name.
+
+    Attributes:
+        partition_count: number of cache partitions; must match the
+            :class:`StructurePartitioner` of the run.
+
+    Example:
+        >>> from repro.workload.query import Query
+        >>> query = Query(query_id=7, template_name="q1_pricing_summary",
+        ...               table_name="lineitem", predicates=(),
+        ...               projection_columns=("l_quantity",))
+        >>> router = QueryRouter(partition_count=4)
+        >>> router.partition_of(query) == router.partition_of(query)
+        True
+        >>> QueryRouter(partition_count=1).partition_of(query)
+        0
+    """
+
+    partition_count: int
+
+    def __post_init__(self) -> None:
+        if self.partition_count < 1:
+            raise DistCacheError(
+                f"partition_count must be >= 1, got {self.partition_count}"
+            )
+
+    def partition_of(self, query: Query) -> int:
+        """The partition that serves ``query`` (template-affinity routing)."""
+        if not query.template_name:
+            raise DistCacheError("query template_name must not be empty")
+        return partition_index(query.template_name, self.partition_count)
+
+    def split(self, queries: Sequence[Query]) -> List[List[Query]]:
+        """Partition queries into per-partition streams (order preserved).
+
+        Example:
+            >>> from repro.workload.query import Query
+            >>> queries = [Query(query_id=i, template_name=f"t{i % 3}",
+            ...                  table_name="lineitem", predicates=(),
+            ...                  projection_columns=("l_quantity",))
+            ...            for i in range(6)]
+            >>> parts = QueryRouter(partition_count=2).split(queries)
+            >>> sorted(q.query_id for part in parts for q in part)
+            [0, 1, 2, 3, 4, 5]
+        """
+        parts: List[List[Query]] = [[] for _ in range(self.partition_count)]
+        for query in queries:
+            parts[self.partition_of(query)].append(query)
+        return parts

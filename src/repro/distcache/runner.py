@@ -1,0 +1,521 @@
+"""The partitioned-cell runner: epochs, barriers, directory publication.
+
+One partitioned cell run executes like this::
+
+    route queries by template  ->  partition 0 .. N-1 substreams
+    for each epoch (settlement barrier to settlement barrier):
+        every partition replays its substream slice against its OWN
+        PartitionedCacheManager + provider sub-account (in-process, or
+        fanned over a ProcessPoolExecutor when max_workers > 1)
+        at the barrier:
+            settle maintenance on every partition up to the barrier
+            verify sub-account ledger integrity + payment conservation
+            publish a fresh CrossShardDirectory from live snapshots
+    final barrier: wallet integrity audit, fold into a TenantCellResult
+
+Workers are stateless between epochs: a partition's entire mutable state
+(cache, sub-account, regret, registry) travels inside its pickled scheme,
+so every epoch task is a pure function of its inputs and the run is
+deterministic regardless of pool scheduling — ``max_workers`` changes
+wall-clock, never results.
+
+Unlike the replicated-replay sharding mode, each query here is planned,
+priced, and negotiated by exactly **one** partition: total per-query
+compute stays ~constant as partitions are added, instead of multiplying.
+The price is weaker semantics (epoch-consistent directory, remote-access
+surcharges, owned-only investment) — quantified for every run by the
+divergence report against the global-cache baseline and documented in
+``docs/distcache.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.distcache.directory import CrossShardDirectory
+from repro.distcache.engine import PartitionedEconomyEngine, RemoteAccessModel
+from repro.distcache.manager import PartitionedCacheManager
+from repro.distcache.merge import (
+    PartitionCheckpoint,
+    merge_partition_results,
+    verify_payment_conservation,
+    verify_subaccount_integrity,
+    verify_wallet_integrity,
+)
+from repro.distcache.partition import QueryRouter, StructurePartitioner
+from repro.economy.account import CloudAccount
+from repro.economy.tenancy import TenantRegistry
+from repro.errors import DistCacheError
+from repro.experiments.tenants import (
+    TenantCellResult,
+    TenantExperimentConfig,
+    build_population,
+    run_tenant_cell,
+)
+from repro.policies.base import CachingScheme, SchemeStep
+from repro.policies.economic import EconomicSchemeConfig
+from repro.simulator.metrics import MetricsSummary
+from repro.simulator.simulation import trailing_interval_for
+from repro.system import CloudSystem
+
+#: Event-order ranks mirroring :mod:`repro.simulator.events`: at one
+#: instant, lifecycle markers apply before the barrier settles, and the
+#: barrier settles before simultaneous queries run.
+_PRIORITY_ARRIVAL = 4
+_PRIORITY_CHURN = 6
+_PRIORITY_BARRIER = 10
+_PRIORITY_QUERY = 30
+
+
+class PartitionImbalanceWarning(UserWarning):
+    """More cache partitions than busy templates: some serve no queries."""
+
+
+@dataclass(frozen=True)
+class PartitionEpochTask:
+    """Everything one partition worker needs to replay one epoch."""
+
+    scheme: CachingScheme
+    items: Tuple[Tuple[int, object], ...]
+    settle_to_s: float
+    last_settled_s: float
+
+
+@dataclass(frozen=True)
+class PartitionEpochResult:
+    """One partition's epoch output: updated state plus the replay record."""
+
+    scheme: CachingScheme
+    steps: Tuple[SchemeStep, ...]
+    maintenance: Tuple[Tuple[float, float], ...]
+    last_settled_s: float
+
+
+@dataclass(frozen=True)
+class PartitionRunStats:
+    """End-of-run accounting of one partition, for the report tables."""
+
+    partition_index: int
+    queries_served: int
+    local_structures: int
+    peak_cache_bytes: int
+    subaccount_credit: float
+    query_payments: float
+    remote_hits: int
+    remote_structure_accesses: int
+    remote_bytes: float
+    remote_dollars: float
+
+
+@dataclass(frozen=True)
+class DistCacheCellReport:
+    """A merged partitioned cell plus the audit trail of how it ran."""
+
+    cell: TenantCellResult
+    partition_count: int
+    partitions: Tuple[PartitionRunStats, ...]
+    checkpoints: Tuple[PartitionCheckpoint, ...]
+    directory_size: int
+    remote: RemoteAccessModel
+    baseline: Optional[MetricsSummary] = None
+
+    @property
+    def barriers_verified(self) -> int:
+        """Settlement barriers at which the audits ran (and passed)."""
+        return len(self.checkpoints)
+
+    @property
+    def remote_hit_count(self) -> int:
+        """Chosen plans across all partitions that touched remote state."""
+        return sum(stats.remote_hits for stats in self.partitions)
+
+
+def run_partition_epoch(task: PartitionEpochTask) -> PartitionEpochResult:
+    """Replay one partition's slice of one epoch (process-pool entry point).
+
+    Items carry the same instant-ordering ranks the simulation kernel
+    uses, so maintenance settles at exactly the instants — and in exactly
+    the order — the unpartitioned event loop would settle at.
+    """
+    if not isinstance(task, PartitionEpochTask):
+        raise DistCacheError(
+            f"expected a PartitionEpochTask, got {type(task).__name__}")
+    scheme = task.scheme
+    registry = scheme.tenant_registry
+    steps: List[SchemeStep] = []
+    maintenance: List[Tuple[float, float]] = []
+    last_settled_s = task.last_settled_s
+
+    def settle(now: float) -> None:
+        nonlocal last_settled_s
+        elapsed = now - last_settled_s
+        last_settled_s = max(last_settled_s, now)
+        if elapsed <= 0:
+            return
+        maintenance.append((scheme.maintenance_rate() * elapsed, elapsed))
+
+    for rank, payload in task.items:
+        if rank == _PRIORITY_QUERY:
+            settle(payload.arrival_time)
+            steps.append(scheme.process(payload))
+        elif rank == _PRIORITY_ARRIVAL:
+            if registry is not None:
+                registry.activate(payload.tenant_id, now=payload.time_s)
+        elif rank == _PRIORITY_CHURN:
+            if registry is not None:
+                registry.deactivate(payload.tenant_id, now=payload.time_s)
+        else:
+            raise DistCacheError(f"unknown epoch item rank {rank}")
+    settle(task.settle_to_s)
+    return PartitionEpochResult(
+        scheme=scheme,
+        steps=tuple(steps),
+        maintenance=tuple(maintenance),
+        last_settled_s=last_settled_s,
+    )
+
+
+class DistCacheRunner:
+    """Runs tenant cells in partitioned-cache mode."""
+
+    def __init__(self, partition_count: int, max_workers: int = 1,
+                 remote: RemoteAccessModel = RemoteAccessModel(),
+                 compare_baseline: bool = True) -> None:
+        if partition_count < 1:
+            raise DistCacheError(
+                f"partition_count must be >= 1, got {partition_count}")
+        if max_workers < 1:
+            raise DistCacheError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self._partitioner = StructurePartitioner(partition_count)
+        self._router = QueryRouter(partition_count)
+        self._max_workers = max_workers
+        self._remote = remote
+        self._compare_baseline = compare_baseline
+
+    @property
+    def partition_count(self) -> int:
+        """Cache partitions per cell."""
+        return self._partitioner.partition_count
+
+    # -- assembly --------------------------------------------------------------
+
+    def _build_schemes(self, config: TenantExperimentConfig,
+                       profiles) -> List[CachingScheme]:
+        """One scheme (cache + sub-account + full registry) per partition."""
+        if config.scheme == "bypass":
+            raise DistCacheError(
+                "partitioned mode requires an economy; the bypass baseline "
+                "has none (run it with --cache-partitions 1)"
+            )
+        system = CloudSystem()
+        partition_count = self.partition_count
+        schemes: List[CachingScheme] = []
+        for index in range(partition_count):
+            registry = TenantRegistry()
+            registry.register_all(profiles)
+
+            def factory(enumerator, structure_costs, cache_config,
+                        economy_config, tenants, _index=index):
+                cache = PartitionedCacheManager(
+                    cache_config,
+                    partitioner=self._partitioner,
+                    partition_index=_index,
+                )
+                economy = replace(
+                    economy_config,
+                    initial_credit=(economy_config.initial_credit
+                                    / partition_count),
+                )
+                return PartitionedEconomyEngine(
+                    enumerator=enumerator,
+                    structure_costs=structure_costs,
+                    cache=cache,
+                    config=economy,
+                    tenants=tenants,
+                    remote=self._remote,
+                )
+
+            schemes.append(system.scheme(
+                config.scheme,
+                economic_config=EconomicSchemeConfig(
+                    tenants=registry, engine_factory=factory),
+            ))
+        return schemes
+
+    def _epoch_items(self, queries, lifecycle
+                     ) -> List[List[Tuple[float, int, int, object]]]:
+        """Per-partition item lists in kernel dispatch order.
+
+        Every partition receives its routed queries plus *all* lifecycle
+        markers (each partition holds the full registry); items are
+        ``(time, rank, insertion, payload)`` sorted exactly like the
+        kernel's ``(time_s, priority, FIFO)`` queue — queries are
+        scheduled first, markers after, matching ``_run_tenants``.
+        """
+        sequenced: List[Tuple[float, int, int, object]] = []
+        counter = 0
+        for query in queries:
+            sequenced.append(
+                (query.arrival_time, _PRIORITY_QUERY, counter, query))
+            counter += 1
+        for marker in lifecycle:
+            rank = (_PRIORITY_ARRIVAL if marker.kind == "arrival"
+                    else _PRIORITY_CHURN)
+            sequenced.append((marker.time_s, rank, counter, marker))
+            counter += 1
+        sequenced.sort(key=lambda item: item[:3])
+
+        per_partition: List[List[Tuple[float, int, int, object]]] = [
+            [] for _ in range(self.partition_count)
+        ]
+        for time_s, rank, insertion, payload in sequenced:
+            if rank == _PRIORITY_QUERY:
+                targets = [self._router.partition_of(payload)]
+            else:
+                targets = range(self.partition_count)
+            for partition in targets:
+                per_partition[partition].append(
+                    (time_s, rank, insertion, payload))
+        return per_partition
+
+    # -- execution -------------------------------------------------------------
+
+    def run_cell(self, config: TenantExperimentConfig) -> DistCacheCellReport:
+        """Run one cell partitioned; audit every barrier; merge exactly."""
+        if config.warmup_queries:
+            raise DistCacheError(
+                "partitioned mode does not support warmup_queries")
+        populated = build_population(config)
+        queries = list(populated.queries)
+        schemes = self._build_schemes(config, populated.profiles)
+        items = self._epoch_items(queries, populated.lifecycle)
+
+        routed_counts = [
+            sum(1 for _, rank, _, _ in partition_items
+                if rank == _PRIORITY_QUERY)
+            for partition_items in items
+        ]
+        if min(routed_counts) == 0:
+            warnings.warn(
+                f"cache partition count {self.partition_count} exceeds the "
+                f"workload's busy template count; some cache partitions "
+                f"serve no queries",
+                PartitionImbalanceWarning,
+                stacklevel=2,
+            )
+
+        start_s = queries[0].arrival_time
+        trailing_s = trailing_interval_for(queries)
+        end_s = queries[-1].arrival_time + trailing_s
+        barriers: List[float] = []
+        if config.settlement_period_s is not None:
+            cut = start_s + config.settlement_period_s
+            while cut <= end_s:
+                barriers.append(cut)
+                cut += config.settlement_period_s
+        if not barriers or barriers[-1] != end_s:
+            barriers.append(end_s)
+
+        cursor = [0] * self.partition_count
+        last_settled = [start_s] * self.partition_count
+        steps: List[List[SchemeStep]] = [[] for _ in schemes]
+        maintenance: List[List[Tuple[float, float]]] = [[] for _ in schemes]
+        checkpoints: List[PartitionCheckpoint] = []
+        directory = CrossShardDirectory.empty()
+
+        executor: Optional[ProcessPoolExecutor] = None
+        workers = min(self._max_workers, self.partition_count)
+        if workers > 1:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            for epoch, barrier in enumerate(barriers):
+                is_final = epoch == len(barriers) - 1
+                tasks: List[PartitionEpochTask] = []
+                for partition, scheme in enumerate(schemes):
+                    partition_items = items[partition]
+                    begin = cursor[partition]
+                    index = begin
+                    while index < len(partition_items):
+                        time_s, rank, _, _ = partition_items[index]
+                        # Interior barriers cut like the kernel's event
+                        # order: a settlement outranks same-instant
+                        # queries. The final barrier closes the run, so it
+                        # drains everything (a zero-trailing run can place
+                        # its last arrival exactly at the end instant).
+                        if (not is_final
+                                and (time_s, rank) >= (barrier,
+                                                       _PRIORITY_BARRIER)):
+                            break
+                        index += 1
+                    cursor[partition] = index
+                    tasks.append(PartitionEpochTask(
+                        scheme=scheme,
+                        items=tuple((rank, payload) for _, rank, _, payload
+                                    in partition_items[begin:index]),
+                        settle_to_s=barrier,
+                        last_settled_s=last_settled[partition],
+                    ))
+                if executor is not None:
+                    results = list(executor.map(run_partition_epoch, tasks))
+                else:
+                    results = [run_partition_epoch(task) for task in tasks]
+
+                for partition, result in enumerate(results):
+                    schemes[partition] = result.scheme
+                    steps[partition].extend(result.steps)
+                    maintenance[partition].extend(result.maintenance)
+                    last_settled[partition] = result.last_settled_s
+
+                self._forward_regret(schemes)
+                directory = self._publish_directory(schemes, epoch + 1)
+                checkpoints.append(self._checkpoint(
+                    schemes, barrier, epoch + 1, directory))
+        finally:
+            if executor is not None:
+                executor.shutdown()
+
+        registries = [scheme.tenant_registry for scheme in schemes]
+        verify_wallet_integrity(registries)
+        cell = merge_partition_results(
+            config=config,
+            steps_by_partition=steps,
+            maintenance_by_partition=maintenance,
+            registries=registries,
+            duration_s=end_s - start_s,
+            population_size=populated.tenant_count,
+            churn_waves=populated.churn_waves,
+        )
+        baseline: Optional[MetricsSummary] = None
+        if self._compare_baseline and self.partition_count > 1:
+            baseline = run_tenant_cell(config).summary
+        return DistCacheCellReport(
+            cell=cell,
+            partition_count=self.partition_count,
+            partitions=tuple(self._partition_stats(schemes, steps)),
+            checkpoints=tuple(checkpoints),
+            directory_size=len(directory),
+            remote=self._remote,
+            baseline=baseline,
+        )
+
+    def run_cells(self, configs: Sequence[TenantExperimentConfig]
+                  ) -> List[DistCacheCellReport]:
+        """Run many cells (sequentially; partitions parallelise within)."""
+        cells = list(configs)
+        if not cells:
+            raise DistCacheError("at least one tenant cell is required")
+        return [self.run_cell(config) for config in cells]
+
+    # -- barrier work ----------------------------------------------------------
+
+    def _forward_regret(self, schemes: Sequence[CachingScheme]) -> None:
+        """Route regret earned on foreign-owned structures to their owners.
+
+        Part of the barrier exchange: demand observed by a borrowing
+        partition reaches the owner's investment rule one epoch late.
+        Partitions are drained and credited in index order, so the
+        exchange is deterministic.
+        """
+        engines = [self._engine_of(scheme) for scheme in schemes]
+        forwarded: List[List[Tuple[object, float]]] = [
+            [] for _ in engines
+        ]
+        for engine in engines:
+            for structure, amount in engine.drain_foreign_regret():
+                owner = self._partitioner.partition_of(structure.key)
+                forwarded[owner].append((structure, amount))
+        for engine, items in zip(engines, forwarded):
+            if items:
+                engine.absorb_forwarded_regret(items)
+
+    def _publish_directory(self, schemes: Sequence[CachingScheme],
+                           version: int) -> CrossShardDirectory:
+        snapshots: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+        for partition, scheme in enumerate(schemes):
+            cache = scheme.cache
+            assert isinstance(cache, PartitionedCacheManager)
+            snapshots[partition] = cache.snapshot()
+        directory = CrossShardDirectory.publish(
+            snapshots, self._partitioner, version=version)
+        directory.verify_backed_by({
+            partition: [key for key, _ in snapshot]
+            for partition, snapshot in snapshots.items()
+        })
+        for scheme in schemes:
+            cache = scheme.cache
+            assert isinstance(cache, PartitionedCacheManager)
+            cache.set_directory(directory)
+        return directory
+
+    def _checkpoint(self, schemes: Sequence[CachingScheme], barrier: float,
+                    epoch: int,
+                    directory: CrossShardDirectory) -> PartitionCheckpoint:
+        engines = [self._engine_of(scheme) for scheme in schemes]
+        verify_subaccount_integrity(engines)
+        payments, charges = verify_payment_conservation(engines)
+        return PartitionCheckpoint(
+            time_s=barrier,
+            epoch=epoch,
+            directory_size=len(directory),
+            subaccount_credit=tuple(
+                engine.account.credit for engine in engines),
+            query_payments=payments,
+            outcome_charges=charges,
+        )
+
+    @staticmethod
+    def _engine_of(scheme: CachingScheme) -> PartitionedEconomyEngine:
+        engine = getattr(scheme, "engine", None)
+        if not isinstance(engine, PartitionedEconomyEngine):
+            raise DistCacheError(
+                f"scheme {scheme.name!r} is not running a partitioned engine")
+        return engine
+
+    def _partition_stats(self, schemes: Sequence[CachingScheme],
+                         steps: Sequence[Sequence[SchemeStep]]
+                         ) -> List[PartitionRunStats]:
+        stats: List[PartitionRunStats] = []
+        for partition, scheme in enumerate(schemes):
+            engine = self._engine_of(scheme)
+            cache = engine.partitioned_cache
+            stats.append(PartitionRunStats(
+                partition_index=partition,
+                queries_served=len(steps[partition]),
+                local_structures=len(cache.built_keys),
+                peak_cache_bytes=cache.peak_disk_used_bytes,
+                subaccount_credit=engine.account.credit,
+                query_payments=engine.account.totals_by_category().get(
+                    CloudAccount.CATEGORY_QUERY_PAYMENT, 0.0),
+                remote_hits=engine.remote_hits,
+                remote_structure_accesses=engine.remote_structure_accesses,
+                remote_bytes=engine.remote_bytes,
+                remote_dollars=engine.remote_dollars,
+            ))
+        return stats
+
+
+def run_partitioned_cell(config: TenantExperimentConfig,
+                         partitions: int,
+                         max_workers: int = 1,
+                         remote: RemoteAccessModel = RemoteAccessModel(),
+                         compare_baseline: bool = True) -> DistCacheCellReport:
+    """Run one tenant cell in partitioned-cache mode (convenience wrapper)."""
+    runner = DistCacheRunner(partitions, max_workers=max_workers,
+                             remote=remote, compare_baseline=compare_baseline)
+    return runner.run_cell(config)
+
+
+def run_partitioned_experiment(configs: Sequence[TenantExperimentConfig],
+                               partitions: int,
+                               jobs: int = 1,
+                               remote: RemoteAccessModel = RemoteAccessModel(),
+                               compare_baseline: bool = True
+                               ) -> List[DistCacheCellReport]:
+    """Run many cells partitioned; ``jobs`` sizes each cell's worker pool."""
+    runner = DistCacheRunner(partitions, max_workers=jobs, remote=remote,
+                             compare_baseline=compare_baseline)
+    return runner.run_cells(configs)

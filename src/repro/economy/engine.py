@@ -21,7 +21,7 @@ different decision procedure entirely — see :mod:`repro.policies`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import constants
 from repro.cache.manager import CacheConfig, CacheManager
@@ -373,11 +373,21 @@ class EconomyEngine:
             total_spend += sum(record.build_cost for record in built)
         return tuple(builds), total_spend
 
-    def _estimate_build_cost(self, structure: CacheStructure) -> float:
-        cached_columns = {
+    def _available_column_keys(self) -> Set[str]:
+        """Column keys a build may read instead of re-extracting.
+
+        The base engine only has its own cache; partitioned engines
+        (:mod:`repro.distcache`) override this to add columns that exist
+        on a remote partition, which a build can read over the network.
+        """
+        return {
             key for key in self._cache.built_keys if key.startswith("column:")
         }
-        return self._structure_costs.build_cost(structure, cached_columns)
+
+    def _estimate_build_cost(self, structure: CacheStructure) -> float:
+        return self._structure_costs.build_cost(
+            structure, self._available_column_keys()
+        )
 
     def _build_structure(self, structure: CacheStructure, query_id: int,
                          now: float) -> List[StructureBuild]:
@@ -387,12 +397,10 @@ class EconomyEngine:
         (credit may have dropped since the decision was evaluated).
         """
         plan: List[Tuple[CacheStructure, float]] = []
-        cached_columns = {
-            key for key in self._cache.built_keys if key.startswith("column:")
-        }
+        cached_columns = self._available_column_keys()
         if isinstance(structure, CachedIndex):
             for column in structure.required_columns():
-                if not self._cache.contains(column.key):
+                if column.key not in cached_columns:
                     plan.append((column, self._structure_costs.build_cost(column)))
                     cached_columns.add(column.key)
             sort_only_cost = self._structure_costs.build_cost(

@@ -85,3 +85,24 @@ class ShardingError(ReproError):
     when the merge barrier detects that two shards disagree about a
     replicated quantity, which means the simulation was not deterministic.
     """
+
+
+class PartitioningError(ReproError):
+    """A stable-hash partitioning primitive was misused.
+
+    Raised by :mod:`repro.partitioning`, the helper shared by tenant
+    sharding (:mod:`repro.sharding`) and structure partitioning
+    (:mod:`repro.distcache`); the two layers wrap it in their own error
+    types at their public boundaries.
+    """
+
+
+class DistCacheError(ReproError):
+    """A partitioned-cache run was mis-configured or violated an invariant.
+
+    Raised for configuration mistakes (partition counts < 1, partitioned
+    mode requested for a scheme with no economy) and — more seriously —
+    when an audit detects a broken invariant: a structure admitted by a
+    partition that does not own its key, a directory entry without a live
+    owner, or a sub-account whose ledger no longer folds to its credit.
+    """

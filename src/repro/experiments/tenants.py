@@ -7,7 +7,10 @@ multi-scheme run fans out over a ``ProcessPoolExecutor`` exactly like the
 figure grids, and the parallel tables are byte-identical to sequential
 ones. With ``shards > 1`` each cell is additionally split into tenant
 shards executed through :mod:`repro.sharding` and merged exactly, which
-is byte-identical too.
+is byte-identical too. (The other scaling mode — partitioning the cache
+and provider economy themselves, with explicitly different semantics —
+lives in :mod:`repro.distcache` and is reached through the CLI's
+``--cache-partitions`` or :func:`repro.distcache.run_partitioned_cell`.)
 
 The per-tenant outputs join two sources: the step records (queries, cache
 hits, charges — available for every scheme) and the tenant registry

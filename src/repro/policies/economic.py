@@ -15,7 +15,7 @@ picked among the affordable ones:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.cache.manager import CacheConfig, CacheManager
 from repro.costmodel.build import StructureCostModel
@@ -44,6 +44,13 @@ class EconomicSchemeConfig:
         tenants: optional multi-tenant registry; when set, pricing and
             negotiation become tenant-aware (per-tenant budgets, wallets,
             and regret) while ``None`` keeps the single-tenant path.
+        engine_factory: optional hook replacing the engine construction.
+            Called as ``factory(enumerator, structure_costs, cache_config,
+            economy_config, tenants)`` and must return an
+            :class:`~repro.economy.engine.EconomyEngine` (or subclass).
+            :mod:`repro.distcache` uses this to install a partitioned
+            engine over a partition-scoped cache without forking the
+            scheme assembly.
     """
 
     economy: EconomyConfig = field(default_factory=EconomyConfig)
@@ -51,6 +58,7 @@ class EconomicSchemeConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     candidate_indexes: Sequence[CachedIndex] = ()
     tenants: Optional[TenantRegistry] = None
+    engine_factory: Optional[Callable[..., EconomyEngine]] = None
 
 
 class EconomicScheme(CachingScheme):
@@ -71,13 +79,19 @@ class EconomicScheme(CachingScheme):
             candidate_indexes=candidate_indexes,
             config=config.enumerator,
         )
-        self._engine = EconomyEngine(
-            enumerator=enumerator,
-            structure_costs=structure_costs,
-            cache=CacheManager(config.cache),
-            config=config.economy,
-            tenants=config.tenants,
-        )
+        if config.engine_factory is not None:
+            self._engine = config.engine_factory(
+                enumerator, structure_costs, config.cache,
+                config.economy, config.tenants,
+            )
+        else:
+            self._engine = EconomyEngine(
+                enumerator=enumerator,
+                structure_costs=structure_costs,
+                cache=CacheManager(config.cache),
+                config=config.economy,
+                tenants=config.tenants,
+            )
 
     @property
     def name(self) -> str:
@@ -133,13 +147,12 @@ def build_econ_col(execution_model: ExecutionCostModel,
                    config: Optional[EconomicSchemeConfig] = None) -> EconomicScheme:
     """econ-col: the economy restricted to cached columns."""
     base = config or EconomicSchemeConfig()
-    adjusted = EconomicSchemeConfig(
+    adjusted = replace(
+        base,
         economy=replace(base.economy, plan_selection=PlanSelection.CHEAPEST),
         enumerator=replace(base.enumerator, allow_index_plans=False,
                            max_extra_nodes=0),
-        cache=base.cache,
         candidate_indexes=(),
-        tenants=base.tenants,
     )
     return EconomicScheme("econ-col", execution_model, structure_costs, adjusted)
 
@@ -149,12 +162,10 @@ def build_econ_cheap(execution_model: ExecutionCostModel,
                      config: Optional[EconomicSchemeConfig] = None) -> EconomicScheme:
     """econ-cheap: full economy, cheapest affordable plan."""
     base = config or EconomicSchemeConfig()
-    adjusted = EconomicSchemeConfig(
+    adjusted = replace(
+        base,
         economy=replace(base.economy, plan_selection=PlanSelection.CHEAPEST),
         enumerator=replace(base.enumerator, allow_index_plans=True),
-        cache=base.cache,
-        candidate_indexes=base.candidate_indexes,
-        tenants=base.tenants,
     )
     return EconomicScheme("econ-cheap", execution_model, structure_costs, adjusted)
 
@@ -164,11 +175,9 @@ def build_econ_fast(execution_model: ExecutionCostModel,
                     config: Optional[EconomicSchemeConfig] = None) -> EconomicScheme:
     """econ-fast: full economy, fastest affordable plan."""
     base = config or EconomicSchemeConfig()
-    adjusted = EconomicSchemeConfig(
+    adjusted = replace(
+        base,
         economy=replace(base.economy, plan_selection=PlanSelection.FASTEST),
         enumerator=replace(base.enumerator, allow_index_plans=True),
-        cache=base.cache,
-        candidate_indexes=base.candidate_indexes,
-        tenants=base.tenants,
     )
     return EconomicScheme("econ-fast", execution_model, structure_costs, adjusted)

@@ -7,10 +7,12 @@ platform, interpreter hash randomisation, and insertion order. Two workers
 that never communicate therefore agree on who owns whom, and a coordinator
 can re-derive the assignment after the fact to validate a merge.
 
-BLAKE2b (stdlib, keyed to nothing) is used rather than Python's built-in
-``hash`` precisely because the built-in is salted per process: a salted
-hash would partition differently in every worker, which would silently
-break the ownership disjointness the exact merge relies on.
+The hash itself — BLAKE2b over the key, modulo the partition count — is
+:func:`repro.partitioning.partition_index`, the helper shared with the
+cache partitioner (:class:`repro.distcache.StructurePartitioner`), so the
+tenant- and structure-partitioning layers cannot drift apart. See
+:mod:`repro.partitioning` for why a salted built-in ``hash`` would break
+the ownership disjointness the exact merge relies on.
 
 Example:
     >>> partitioner = TenantPartitioner(shard_count=4)
@@ -24,19 +26,18 @@ Example:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from repro.errors import ShardingError
-
-#: Digest width of the partition hash; 8 bytes keeps the modulo bias
-#: negligible for any practical shard count.
-_DIGEST_SIZE = 8
+from repro.partitioning import partition_index, stable_key_hash
 
 
 def stable_tenant_hash(tenant_id: str) -> int:
     """A process-independent 64-bit hash of a tenant id.
+
+    Delegates to :func:`repro.partitioning.stable_key_hash`, the helper
+    shared with structure partitioning.
 
     Example:
         >>> stable_tenant_hash("alice") == stable_tenant_hash("alice")
@@ -46,10 +47,7 @@ def stable_tenant_hash(tenant_id: str) -> int:
     """
     if not tenant_id:
         raise ShardingError("tenant_id must not be empty")
-    digest = hashlib.blake2b(
-        tenant_id.encode("utf-8"), digest_size=_DIGEST_SIZE
-    ).digest()
-    return int.from_bytes(digest, "big")
+    return stable_key_hash(tenant_id)
 
 
 @dataclass(frozen=True)
@@ -73,7 +71,9 @@ class TenantPartitioner:
 
     def shard_of(self, tenant_id: str) -> int:
         """The shard that owns ``tenant_id`` (stable across processes)."""
-        return stable_tenant_hash(tenant_id) % self.shard_count
+        if not tenant_id:
+            raise ShardingError("tenant_id must not be empty")
+        return partition_index(tenant_id, self.shard_count)
 
     def owns(self, shard_index: int, tenant_id: str) -> bool:
         """Whether ``shard_index`` is the owner of ``tenant_id``."""

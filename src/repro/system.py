@@ -10,7 +10,7 @@ pieces (every component remains reachable as an attribute).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
 from repro import constants
@@ -114,12 +114,8 @@ class CloudSystem:
         one.
         """
         if economic_config is not None and not economic_config.candidate_indexes:
-            economic_config = EconomicSchemeConfig(
-                economy=economic_config.economy,
-                enumerator=economic_config.enumerator,
-                cache=economic_config.cache,
-                candidate_indexes=self._candidate_indexes,
-                tenants=economic_config.tenants,
+            economic_config = replace(
+                economic_config, candidate_indexes=self._candidate_indexes
             )
         if economic_config is None:
             economic_config = EconomicSchemeConfig(

@@ -1,0 +1,130 @@
+"""Direct tests of the cache's eviction-policy interplay.
+
+Capacity (LRU) eviction and idle-failure eviction were previously only
+exercised indirectly through the figure reproductions; these tests pin
+how the two policies interact under one clock — who wins when both could
+fire, and how the ``min_residency_s`` grace shields a fresh structure
+from one but not the other.
+"""
+
+import pytest
+
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.structures.cached_column import CachedColumn
+from repro.structures.cached_index import CachedIndex
+
+
+def admit(manager, structure, size=100, cost=10.0, rate=0.01, now=0.0):
+    return manager.admit(structure, size_bytes=size, build_cost=cost,
+                         maintenance_rate=rate, now=now)
+
+
+@pytest.fixture
+def columns():
+    return [CachedColumn("lineitem", f"c{i}") for i in range(4)]
+
+
+class TestCapacityRacingFailure:
+    def test_idle_structure_can_fail_then_capacity_needs_no_victim(
+            self, columns):
+        """Failure eviction frees the space a simultaneous admission would
+        otherwise have taken by LRU: same clock, checked first (the engine
+        always applies the failure rule before admitting)."""
+        manager = CacheManager(CacheConfig(capacity_bytes=1_000,
+                                           max_idle_s=50.0,
+                                           column_idle_multiplier=1.0))
+        admit(manager, columns[0], size=600, now=0.0)
+        admit(manager, columns[1], size=300, now=10.0)
+        manager.record_usage([columns[1].key], now=60.0)
+
+        failed = manager.evict_failed_structures(now=70.0)
+        assert [record.key for record in failed] == [columns[0].key]
+        assert [record.reason for record in failed] == ["idle_failure"]
+
+        evicted = admit(manager, columns[2], size=600, now=70.0)
+        assert evicted == []
+        assert manager.built_keys == {columns[1].key, columns[2].key}
+
+    def test_without_failure_check_capacity_takes_the_lru_victim(
+            self, columns):
+        """The same state without the failure pass: capacity eviction
+        picks by recency, so the idle structure is evicted as the LRU
+        victim with a ``capacity_lru`` record instead of failing."""
+        manager = CacheManager(CacheConfig(capacity_bytes=1_000,
+                                           max_idle_s=50.0))
+        admit(manager, columns[0], size=600, now=0.0)
+        admit(manager, columns[1], size=300, now=10.0)
+        manager.record_usage([columns[1].key], now=60.0)
+
+        evicted = admit(manager, columns[2], size=600, now=70.0)
+        assert [record.key for record in evicted] == [columns[0].key]
+        assert [record.reason for record in evicted] == ["capacity_lru"]
+
+    def test_eviction_records_carry_the_loss_sides(self, columns):
+        """Both policies account the same way: unpaid maintenance accrues
+        with the clock, unrecovered build cost with amortisation."""
+        manager = CacheManager(CacheConfig(capacity_bytes=500,
+                                           max_idle_s=50.0))
+        admit(manager, columns[0], size=500, cost=8.0, rate=0.1, now=0.0)
+        manager.record_amortized_recovery(columns[0].key, 3.0)
+
+        evicted = admit(manager, columns[1], size=500, now=20.0)
+        record = evicted[0]
+        assert record.unpaid_maintenance == pytest.approx(0.1 * 20.0)
+        assert record.unrecovered_build_cost == pytest.approx(5.0)
+
+
+class TestMinResidencyGrace:
+    def test_grace_shields_from_failure_but_not_capacity(self, columns):
+        """Under one clock: a fresh idle structure survives the failure
+        check inside its residency grace, yet the same instant's capacity
+        pressure may still evict it — the grace is a failure-rule notion,
+        not a pin."""
+        manager = CacheManager(CacheConfig(capacity_bytes=1_000,
+                                           max_idle_s=10.0,
+                                           min_residency_s=100.0))
+        admit(manager, columns[0], size=600, now=0.0)
+
+        assert manager.evict_failed_structures(now=50.0) == []
+
+        evicted = admit(manager, columns[1], size=600, now=50.0)
+        assert [record.key for record in evicted] == [columns[0].key]
+        assert [record.reason for record in evicted] == ["capacity_lru"]
+
+    def test_failure_fires_once_grace_expires(self, columns):
+        manager = CacheManager(CacheConfig(max_idle_s=10.0,
+                                           min_residency_s=100.0))
+        admit(manager, columns[0], now=0.0)
+        assert manager.evict_failed_structures(now=99.0) == []
+        failed = manager.evict_failed_structures(now=101.0)
+        assert [record.key for record in failed] == [columns[0].key]
+
+    def test_usage_inside_grace_still_resets_the_idle_clock(self, columns):
+        manager = CacheManager(CacheConfig(max_idle_s=10.0,
+                                           min_residency_s=20.0,
+                                           column_idle_multiplier=1.0))
+        admit(manager, columns[0], now=0.0)
+        manager.record_usage([columns[0].key], now=19.0)
+        # Grace has expired at t=25, but the structure was used at t=19,
+        # so it is only 6 seconds idle — alive.
+        assert manager.evict_failed_structures(now=25.0) == []
+        failed = manager.evict_failed_structures(now=30.0)
+        assert [record.key for record in failed] == [columns[0].key]
+
+    def test_column_multiplier_and_grace_compose(self):
+        """A column's idle limit is multiplied *and* the grace applies:
+        the effective earliest failure is the later of the two."""
+        manager = CacheManager(CacheConfig(max_idle_s=10.0,
+                                           column_idle_multiplier=4.0,
+                                           min_residency_s=15.0))
+        column = CachedColumn("lineitem", "l_shipdate")
+        index = CachedIndex("lineitem", ("l_shipdate",))
+        admit(manager, column, now=0.0)
+        admit(manager, index, now=0.0)
+        # t=20: grace passed; the index (limit 10) has failed, the column
+        # (limit 40) has not.
+        failed = manager.evict_failed_structures(now=20.0)
+        assert [record.key for record in failed] == [index.key]
+        assert manager.evict_failed_structures(now=39.0) == []
+        failed = manager.evict_failed_structures(now=41.0)
+        assert [record.key for record in failed] == [column.key]

@@ -146,3 +146,63 @@ class TestShardedTenantsCli:
         unsharded = capsys.readouterr().out
         assert main(self.ARGS + extra + ["--shards", "2"]) == 0
         assert capsys.readouterr().out == unsharded
+
+
+class TestPartitionedTenantsCli:
+    ARGS = ["tenants", "--n-tenants", "10", "--queries", "40",
+            "--schemes", "econ-cheap", "--top", "3",
+            "--settlement-period", "10.0"]
+
+    def test_one_partition_is_byte_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        global_run = capsys.readouterr().out
+        assert main(self.ARGS + ["--cache-partitions", "1"]) == 0
+        assert capsys.readouterr().out == global_run
+
+    def test_partitioned_report_sections(self, capsys):
+        assert main(self.ARGS + ["--cache-partitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Tenants - econ-cheap x 10 tenants" in output
+        assert "Cache partitions - econ-cheap x 2 partitions" in output
+        assert "conservation: exact" in output
+        assert "Divergence vs global cache" in output
+        assert "remote_hits" in output
+
+    def test_partitions_compose_with_jobs(self, capsys):
+        assert main(self.ARGS + ["--cache-partitions", "2"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(self.ARGS + ["--cache-partitions", "2",
+                                 "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    @pytest.mark.parametrize("value", ["0", "-2", "four"])
+    def test_invalid_partition_counts_exit_2(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tenants", "--cache-partitions", value])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "argument --cache-partitions:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_partitions_and_shards_are_exclusive(self, capsys):
+        assert main(self.ARGS + ["--cache-partitions", "2",
+                                 "--shards", "2"]) == 2
+        captured = capsys.readouterr()
+        assert "alternative scaling modes" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_imbalance_warning_on_stderr(self, capsys):
+        assert main(["tenants", "--n-tenants", "6", "--queries", "16",
+                     "--schemes", "econ-cheap",
+                     "--cache-partitions", "16"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("warning:") == 1
+        assert "serve no queries" in captured.err
+        assert "Cache partitions - econ-cheap x 16 partitions" in captured.out
+
+    def test_bypass_scheme_reports_cleanly(self, capsys):
+        assert main(["tenants", "--schemes", "bypass", "--queries", "12",
+                     "--n-tenants", "4", "--cache-partitions", "2"]) == 2
+        captured = capsys.readouterr()
+        assert "economy" in captured.err
+        assert "Traceback" not in captured.err

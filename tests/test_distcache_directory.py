@@ -1,0 +1,101 @@
+"""Tests for the cross-shard directory and its consistency invariants."""
+
+import pickle
+
+import pytest
+
+from repro.distcache import CrossShardDirectory, StructurePartitioner
+from repro.errors import DistCacheError
+
+
+def _owned_key(partitioner, partition, base="column:t.c"):
+    """A key whose hash-owner is ``partition`` (search by suffix)."""
+    for i in range(10_000):
+        key = f"{base}{i}"
+        if partitioner.partition_of(key) == partition:
+            return key
+    raise AssertionError("no key found for partition")
+
+
+@pytest.fixture
+def partitioner():
+    return StructurePartitioner(partition_count=3)
+
+
+class TestPublication:
+    def test_empty_directory(self):
+        directory = CrossShardDirectory.empty()
+        assert len(directory) == 0
+        assert directory.version == 0
+        assert not directory.contains("anything")
+
+    def test_publish_and_lookup(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        directory = CrossShardDirectory.publish(
+            {1: [(key, 2048)]}, partitioner, version=3)
+        assert directory.contains(key)
+        assert directory.owner_of(key) == 1
+        assert directory.entry(key).size_bytes == 2048
+        assert directory.version == 3
+
+    def test_unknown_key_raises(self, partitioner):
+        directory = CrossShardDirectory.publish({}, partitioner)
+        with pytest.raises(DistCacheError):
+            directory.entry("column:t.missing")
+
+    def test_wrong_owner_rejected(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        holder = 2 if partitioner.partition_of(key) != 2 else 0
+        with pytest.raises(DistCacheError, match="owned by"):
+            CrossShardDirectory.publish({holder: [(key, 10)]}, partitioner)
+
+    def test_dual_ownership_rejected(self):
+        partitioner = StructurePartitioner(partition_count=1)
+        key = "column:t.c0"
+        with pytest.raises(DistCacheError):
+            CrossShardDirectory.publish(
+                {0: [(key, 10), (key, 10)]}, partitioner)
+
+
+class TestRemoteView:
+    def test_owner_sees_nothing_remote(self, partitioner):
+        key = _owned_key(partitioner, 0)
+        directory = CrossShardDirectory.publish({0: [(key, 10)]}, partitioner)
+        assert directory.remote_entry(key, viewer=0) is None
+
+    def test_other_partitions_see_remote_entry(self, partitioner):
+        key = _owned_key(partitioner, 0)
+        directory = CrossShardDirectory.publish({0: [(key, 10)]}, partitioner)
+        assert directory.remote_entry(key, viewer=1).partition == 0
+        assert directory.remote_entry(key, viewer=2).partition == 0
+
+    def test_entries_of_partition(self, partitioner):
+        key0 = _owned_key(partitioner, 0)
+        key1 = _owned_key(partitioner, 1)
+        directory = CrossShardDirectory.publish(
+            {0: [(key0, 10)], 1: [(key1, 20)]}, partitioner)
+        assert [entry.key for entry in directory.entries_of(0)] == [key0]
+        assert [entry.key for entry in directory.entries_of(1)] == [key1]
+
+
+class TestBackedByAudit:
+    def test_live_owner_passes(self, partitioner):
+        key = _owned_key(partitioner, 2)
+        directory = CrossShardDirectory.publish({2: [(key, 10)]}, partitioner)
+        directory.verify_backed_by({2: [key]})
+
+    def test_stale_entry_detected(self, partitioner):
+        key = _owned_key(partitioner, 2)
+        directory = CrossShardDirectory.publish({2: [(key, 10)]}, partitioner)
+        with pytest.raises(DistCacheError, match="not backed"):
+            directory.verify_backed_by({2: []})
+
+
+class TestTransport:
+    def test_picklable(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        directory = CrossShardDirectory.publish(
+            {1: [(key, 42)]}, partitioner, version=7)
+        clone = pickle.loads(pickle.dumps(directory))
+        assert clone.version == 7
+        assert clone.entry(key).size_bytes == 42

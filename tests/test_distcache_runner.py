@@ -1,0 +1,179 @@
+"""Tests for the partitioned-cell runner: fidelity, determinism, audits."""
+
+import pytest
+
+from repro.distcache import (
+    DistCacheRunner,
+    PartitionImbalanceWarning,
+    distcache_divergence_table,
+    distcache_partition_table,
+    run_partitioned_cell,
+)
+from repro.errors import DistCacheError
+from repro.experiments.tenants import (
+    TenantExperimentConfig,
+    run_tenant_cell,
+    tenant_aggregate_table,
+    top_tenant_table,
+)
+
+CONFIG = TenantExperimentConfig(
+    scheme="econ-cheap", tenant_count=16, query_count=60,
+    interarrival_s=1.0, seed=1, settlement_period_s=15.0,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_tenant_cell(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def two_partitions():
+    return run_partitioned_cell(CONFIG, partitions=2, compare_baseline=True)
+
+
+class TestFidelityGate:
+    """``--cache-partitions 1`` must be the global-cache run, bitwise."""
+
+    def test_single_partition_is_byte_identical(self, baseline):
+        report = run_partitioned_cell(CONFIG, partitions=1)
+        cell = report.cell
+        assert cell.summary == baseline.summary
+        assert cell.tenants == baseline.tenants
+        assert cell.wallet_credit == baseline.wallet_credit
+        assert tenant_aggregate_table(cell) == tenant_aggregate_table(baseline)
+        assert top_tenant_table(cell) == top_tenant_table(baseline)
+
+    def test_single_partition_without_settlement_period(self):
+        config = TenantExperimentConfig(
+            scheme="econ-cheap", tenant_count=8, query_count=30,
+            interarrival_s=1.0, seed=5)
+        baseline = run_tenant_cell(config)
+        report = run_partitioned_cell(config, partitions=1)
+        assert report.cell.summary == baseline.summary
+        assert report.cell.wallet_credit == baseline.wallet_credit
+
+    def test_single_partition_with_churn(self):
+        config = TenantExperimentConfig(
+            scheme="econ-fast", tenant_count=10, query_count=40,
+            interarrival_s=1.0, seed=2, churn_period=12,
+            settlement_period_s=10.0)
+        baseline = run_tenant_cell(config)
+        report = run_partitioned_cell(config, partitions=1)
+        assert report.cell.summary == baseline.summary
+        assert report.cell.tenants == baseline.tenants
+        assert report.cell.wallet_credit == baseline.wallet_credit
+        assert report.cell.churn_waves == baseline.churn_waves
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, two_partitions):
+        again = run_partitioned_cell(CONFIG, partitions=2,
+                                     compare_baseline=False)
+        assert again.cell.summary == two_partitions.cell.summary
+        assert again.cell.tenants == two_partitions.cell.tenants
+        assert again.cell.wallet_credit == two_partitions.cell.wallet_credit
+        assert again.checkpoints == two_partitions.checkpoints
+
+    def test_worker_count_never_changes_results(self, two_partitions):
+        parallel = run_partitioned_cell(CONFIG, partitions=2, max_workers=2,
+                                        compare_baseline=False)
+        assert parallel.cell.summary == two_partitions.cell.summary
+        assert parallel.cell.tenants == two_partitions.cell.tenants
+        assert parallel.cell.wallet_credit == two_partitions.cell.wallet_credit
+        assert parallel.checkpoints == two_partitions.checkpoints
+
+
+class TestAudits:
+    def test_every_barrier_checkpointed(self, two_partitions):
+        assert two_partitions.barriers_verified >= 2
+        epochs = [point.epoch for point in two_partitions.checkpoints]
+        assert epochs == list(range(1, len(epochs) + 1))
+
+    def test_provider_income_equals_tenant_charges(self, two_partitions):
+        final = two_partitions.checkpoints[-1]
+        assert final.query_payments == final.outcome_charges
+        assert final.conserved_total == sum(final.outcome_charges)
+
+    def test_queries_partition_without_loss(self, two_partitions):
+        served = sum(stats.queries_served
+                     for stats in two_partitions.partitions)
+        assert served == CONFIG.query_count
+        assert two_partitions.cell.summary.query_count == CONFIG.query_count
+
+    def test_directory_entries_match_live_structures(self, two_partitions):
+        total_structures = sum(stats.local_structures
+                               for stats in two_partitions.partitions)
+        assert two_partitions.directory_size == total_structures
+
+    def test_remote_traffic_happens(self, two_partitions):
+        assert two_partitions.remote_hit_count > 0
+
+    def test_divergence_against_baseline(self, two_partitions, baseline):
+        assert two_partitions.baseline == baseline.summary
+        assert (two_partitions.cell.summary.cache_hit_rate
+                <= baseline.summary.cache_hit_rate)
+
+
+class TestReportTables:
+    def test_partition_table_renders(self, two_partitions):
+        table = distcache_partition_table(two_partitions)
+        assert "Cache partitions - econ-cheap x 2 partitions" in table
+        assert "conservation: exact" in table
+
+    def test_divergence_table_renders(self, two_partitions):
+        table = distcache_divergence_table(two_partitions)
+        assert "Divergence vs global cache" in table
+        assert "cache_hit_rate" in table
+        assert "remote_hits" in table
+
+    def test_divergence_table_absent_without_baseline(self):
+        report = run_partitioned_cell(CONFIG, partitions=2,
+                                      compare_baseline=False)
+        assert report.baseline is None
+        assert distcache_divergence_table(report) is None
+
+
+class TestGuards:
+    def test_bypass_scheme_rejected(self):
+        config = TenantExperimentConfig(
+            scheme="bypass", tenant_count=8, query_count=20)
+        with pytest.raises(DistCacheError, match="economy"):
+            run_partitioned_cell(config, partitions=2)
+
+    def test_warmup_rejected(self):
+        config = TenantExperimentConfig(
+            scheme="econ-cheap", tenant_count=8, query_count=20,
+            warmup_queries=5)
+        with pytest.raises(DistCacheError, match="warmup"):
+            run_partitioned_cell(config, partitions=2)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(DistCacheError):
+            DistCacheRunner(0)
+        with pytest.raises(DistCacheError):
+            DistCacheRunner(2, max_workers=0)
+        with pytest.raises(DistCacheError):
+            DistCacheRunner(2).run_cells([])
+
+    def test_imbalance_warns_when_partitions_exceed_templates(self):
+        config = TenantExperimentConfig(
+            scheme="econ-cheap", tenant_count=8, query_count=20,
+            interarrival_s=1.0)
+        with pytest.warns(PartitionImbalanceWarning):
+            run_partitioned_cell(config, partitions=16,
+                                 compare_baseline=False)
+
+
+class TestMultiCell:
+    def test_run_cells_orders_like_configs(self):
+        configs = [
+            TenantExperimentConfig(scheme="econ-cheap", tenant_count=8,
+                                   query_count=24, settlement_period_s=10.0),
+            TenantExperimentConfig(scheme="econ-fast", tenant_count=8,
+                                   query_count=24, settlement_period_s=10.0),
+        ]
+        reports = DistCacheRunner(2, compare_baseline=False).run_cells(configs)
+        assert [r.cell.summary.scheme_name for r in reports] == [
+            "econ-cheap", "econ-fast"]

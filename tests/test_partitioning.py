@@ -1,0 +1,83 @@
+"""Tests for the shared stable-hash partitioning helper.
+
+The point of :mod:`repro.partitioning` is that tenant sharding and
+structure partitioning use one hash formula; the drift tests pin that
+both layers actually delegate to it.
+"""
+
+import pytest
+
+from repro.distcache import StructurePartitioner
+from repro.errors import PartitioningError
+from repro.partitioning import partition_index, stable_key_hash
+from repro.sharding import TenantPartitioner, stable_tenant_hash
+
+
+class TestStableKeyHash:
+    def test_deterministic(self):
+        assert stable_key_hash("alice") == stable_key_hash("alice")
+
+    def test_spreads(self):
+        hashes = {stable_key_hash(f"key{i}") for i in range(200)}
+        assert len(hashes) == 200
+
+    def test_is_64_bit(self):
+        for key in ("a", "column:lineitem.l_quantity", "t00042"):
+            assert 0 <= stable_key_hash(key) < 2 ** 64
+
+    def test_known_value_is_pinned(self):
+        """The mapping is part of the on-disk/merge contract: changing the
+        hash silently would re-partition every existing run."""
+        import hashlib
+        expected = int.from_bytes(
+            hashlib.blake2b(b"alice", digest_size=8).digest(), "big")
+        assert stable_key_hash("alice") == expected
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(PartitioningError):
+            stable_key_hash("")
+
+
+class TestPartitionIndex:
+    def test_in_range(self):
+        for count in (1, 2, 3, 7, 64):
+            assert 0 <= partition_index("some-key", count) < count
+
+    def test_single_partition_owns_everything(self):
+        assert partition_index("anything", 1) == 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(PartitioningError):
+            partition_index("key", 0)
+
+    def test_every_partition_reachable(self):
+        count = 4
+        seen = {partition_index(f"key{i}", count) for i in range(200)}
+        assert seen == set(range(count))
+
+
+class TestLayersCannotDrift:
+    """Both partitioners must agree with the shared formula, key by key."""
+
+    def test_tenant_partitioner_delegates(self):
+        partitioner = TenantPartitioner(shard_count=5)
+        for i in range(50):
+            tenant_id = f"t{i:05d}"
+            assert partitioner.shard_of(tenant_id) == partition_index(
+                tenant_id, 5)
+
+    def test_structure_partitioner_delegates(self):
+        partitioner = StructurePartitioner(partition_count=5)
+        for i in range(50):
+            key = f"column:lineitem.c{i}"
+            assert partitioner.partition_of(key) == partition_index(key, 5)
+
+    def test_same_key_same_slot_across_layers(self):
+        """A string placed by both layers lands identically — the one
+        shared hash, not two look-alikes."""
+        for key in ("shared-key", "t00001", "index:lineitem(l_shipdate)"):
+            assert (TenantPartitioner(8).shard_of(key)
+                    == StructurePartitioner(8).partition_of(key))
+
+    def test_stable_tenant_hash_delegates(self):
+        assert stable_tenant_hash("bob") == stable_key_hash("bob")
