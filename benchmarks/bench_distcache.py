@@ -10,7 +10,13 @@ Both modes therefore run on **one worker process** here: sequential
 wall-clock is total compute, which is the quantity the modes differ in —
 with N shards the replicated run does ~N times the engine work of the
 unsharded run, the partitioned run ~1 times. Per-worker peak cache bytes
-are read from the cache managers themselves. Results land in
+are read from the cache managers themselves. Each partitioned scale also
+runs with ``placement="adaptive"``: template-affinity routing makes the
+workload locality-skewed (a template's queries all land on one
+partition, which keeps paying the remote surcharge for foreign-owned
+structures), and the adaptive rows record how demand-driven handoffs cut
+that surcharge and how delta publication cuts barrier bytes (the
+dedicated sweep is ``bench_placement.py``). Results land in
 ``BENCH_distcache.json`` next to ``BENCH_sharding.json``.
 
 Run directly::
@@ -115,22 +121,36 @@ def run_benchmark(tenant_count: int = 100, query_count: int = 300,
             "peak_worker_cache_bytes": global_peak,
         })
 
-        started = time.perf_counter()
-        report = run_partitioned_cell(config, partitions=count,
-                                      compare_baseline=False)
-        partitioned_s = time.perf_counter() - started
-        runs.append({
-            "benchmark_mode": "partitioned",
-            "partitions": count,
-            "elapsed_s": partitioned_s,
-            "queries_per_s": query_count / partitioned_s,
-            "engine_queries": query_count,
-            "peak_worker_cache_bytes": max(
-                stats.peak_cache_bytes for stats in report.partitions),
-            "remote_hits": report.remote_hit_count,
-            "cache_hit_rate": report.cell.summary.cache_hit_rate,
-            "barriers_verified": report.barriers_verified,
-        })
+        for placement in ("hash", "adaptive"):
+            started = time.perf_counter()
+            report = run_partitioned_cell(config, partitions=count,
+                                          compare_baseline=False,
+                                          placement=placement)
+            partitioned_s = time.perf_counter() - started
+            runs.append({
+                # "partitioned" == the hash-placement mode of PR 4; the
+                # adaptive mode additionally hands hot structures to
+                # their highest-benefit partition at barriers, cutting
+                # the recurring remote surcharge the locality-skewed
+                # template routing otherwise keeps paying.
+                "benchmark_mode": ("partitioned" if placement == "hash"
+                                   else "adaptive"),
+                "partitions": count,
+                "elapsed_s": partitioned_s,
+                "queries_per_s": query_count / partitioned_s,
+                "engine_queries": query_count,
+                "peak_worker_cache_bytes": max(
+                    stats.peak_cache_bytes for stats in report.partitions),
+                "remote_hits": report.remote_hit_count,
+                "remote_surcharge_dollars": report.remote_dollars_paid,
+                "handoffs": report.handoff_count,
+                "directory_bytes_published":
+                    report.directory_bytes_published,
+                "directory_bytes_full_republication":
+                    report.directory_bytes_full,
+                "cache_hit_rate": report.cell.summary.cache_hit_rate,
+                "barriers_verified": report.barriers_verified,
+            })
     return {
         "benchmark": "distcache",
         "scheme": scheme,

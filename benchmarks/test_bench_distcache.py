@@ -39,6 +39,12 @@ def test_distcache_scaling_report(output_dir):
             < by_mode[("replicated", 2)]["peak_worker_cache_bytes"])
     # Audits ran at every barrier.
     assert by_mode[("partitioned", 2)]["barriers_verified"] > 0
+    # The placement claim: adaptive handoffs cut the remote surcharge the
+    # hash placement keeps paying, and deltas undercut full republication.
+    assert (by_mode[("adaptive", 2)]["remote_surcharge_dollars"]
+            < by_mode[("partitioned", 2)]["remote_surcharge_dollars"])
+    assert (by_mode[("adaptive", 2)]["directory_bytes_published"]
+            < by_mode[("adaptive", 2)]["directory_bytes_full_republication"])
 
     path = write_report(report, f"{output_dir}/BENCH_distcache.json")
     with open(path, encoding="utf-8") as handle:

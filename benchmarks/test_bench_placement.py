@@ -1,0 +1,39 @@
+"""Pytest wrapper around the adaptive-placement benchmark.
+
+Keeps the population small so the full suite stays fast, but exercises
+the real pipeline — both placement modes, handoffs, delta publication —
+and pins the two acceptance gates: adaptive placement must cut the
+remote-hit surcharge below the hash run's, and delta publication must
+ship fewer bytes per barrier than full republication.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_placement import run_benchmark, write_report
+
+
+def test_placement_report(output_dir):
+    report = run_benchmark(tenant_count=24, query_count=160,
+                           partitions=2, settlement_period_s=20.0)
+    by_mode = {run["placement"]: run for run in report["runs"]}
+
+    # The headline claim: demand-driven handoffs convert recurring
+    # remote hits into local hits.
+    assert by_mode["adaptive"]["handoffs"] > 0
+    assert (by_mode["adaptive"]["remote_surcharge_dollars"]
+            < by_mode["hash"]["remote_surcharge_dollars"])
+    assert (by_mode["adaptive"]["remote_hit_rate"]
+            < by_mode["hash"]["remote_hit_rate"])
+
+    # The barrier-cost claim: deltas (plus periodic anchors) ship fewer
+    # bytes than republishing the full snapshot at every barrier.
+    for run in report["runs"]:
+        assert (run["directory_bytes_published"]
+                < run["directory_bytes_full_republication"])
+        assert run["barriers"] > 0
+
+    path = write_report(report, f"{output_dir}/BENCH_placement.json")
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["benchmark"] == "placement"

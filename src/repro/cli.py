@@ -28,7 +28,11 @@ explicitly different semantics (remote hits, epoch-consistent directory);
 the report gains per-partition and divergence-vs-global sections, and
 ``--cache-partitions 1`` is byte-identical to the normal path. The two
 modes are alternatives: ``--shards`` and ``--cache-partitions`` cannot
-both exceed 1.
+both exceed 1. ``--placement adaptive`` additionally lets settlement
+barriers hand structure ownership to the partition deriving the most
+priced benefit (hysteresis set by ``--handoff-threshold``), adding a
+placement report section; the default ``--placement hash`` output stays
+byte-identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -39,9 +43,11 @@ import warnings
 from typing import List, Optional, Sequence
 
 from repro.distcache import (
+    PLACEMENT_MODES,
     PartitionImbalanceWarning,
     distcache_divergence_table,
     distcache_partition_table,
+    distcache_placement_table,
     run_partitioned_experiment,
 )
 from repro.errors import ReproError
@@ -108,6 +114,26 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Argparse type for ``--handoff-threshold``: a float >= 0.
+
+    Exit-2 validated like the other numeric flags (``--jobs``,
+    ``--shards``, ``--cache-partitions``): argparse prints a friendly
+    ``error: argument --handoff-threshold: ...`` line instead of a
+    traceback from inside the experiment driver.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    # `not >=` rather than `<`: NaN fails every comparison, so a plain
+    # `< 0` check would wave `--handoff-threshold nan` through and every
+    # hysteresis comparison downstream would silently be False.
+    if not value >= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -213,6 +239,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "adds per-partition and divergence report "
                               "sections, mutually exclusive with --shards "
                               "(default: 1, global cache)")
+    tenants.add_argument("--placement", choices=PLACEMENT_MODES,
+                         default="hash",
+                         help="structure placement across cache partitions: "
+                              "'hash' pins every structure to its hash owner "
+                              "(byte-identical to earlier releases), "
+                              "'adaptive' hands ownership to the "
+                              "highest-benefit partition at settlement "
+                              "barriers and adds a placement report section "
+                              "(default: hash)")
+    tenants.add_argument("--handoff-threshold", type=_nonnegative_float,
+                         default=0.0, metavar="D",
+                         help="hysteresis margin in dollars per epoch a "
+                              "challenger partition must out-bid the owner "
+                              "by before an adaptive handoff is applied "
+                              "(default: 0, any strictly positive margin)")
 
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
@@ -304,6 +345,12 @@ def _tenants_command(args: argparse.Namespace) -> str:
             "and cannot both exceed 1 (see docs/distcache.md for when to "
             "prefer which)"
         )
+    if args.placement != "hash" and args.cache_partitions == 1:
+        raise ReproError(
+            "--placement adaptive needs --cache-partitions > 1: with one "
+            "partition every structure is local and there is no placement "
+            "to adapt"
+        )
     configs = [
         TenantExperimentConfig(
             scheme=name,
@@ -326,7 +373,9 @@ def _tenants_command(args: argparse.Namespace) -> str:
             warnings.simplefilter("default", category)
         if args.cache_partitions > 1:
             reports = run_partitioned_experiment(
-                configs, partitions=args.cache_partitions, jobs=args.jobs)
+                configs, partitions=args.cache_partitions, jobs=args.jobs,
+                placement=args.placement,
+                handoff_threshold=args.handoff_threshold)
             for report in reports:
                 sections.append(tenant_aggregate_table(report.cell))
                 if args.top > 0:
@@ -336,6 +385,9 @@ def _tenants_command(args: argparse.Namespace) -> str:
                 divergence = distcache_divergence_table(report)
                 if divergence is not None:
                     sections.append(divergence)
+                placement = distcache_placement_table(report)
+                if placement is not None:
+                    sections.append(placement)
         else:
             results = run_tenant_experiment(configs, jobs=args.jobs,
                                             shards=args.shards)

@@ -13,6 +13,15 @@ surcharge (:class:`RemoteAccessModel`). Each query is planned, priced,
 and negotiated by exactly one partition — per-query compute stays flat as
 partitions are added, instead of multiplying.
 
+Placement is hash-static by default, but ``placement="adaptive"`` lets a
+:class:`PlacementPolicy` hand structures to the partition deriving the
+most priced benefit from them at each barrier (override table in
+:class:`StructurePartitioner`; residency and in-flight regret move with
+the structure, money does not). Barriers publish the directory as
+fold-verified :class:`DirectoryDelta` records (``prev + delta == full``)
+with a periodic full-snapshot anchor, so the barrier cost tracks churn
+rather than cache size.
+
 The price is **new, explicitly different semantics** (epoch-consistent
 directory, remote hits, owned-only investment) — see ``docs/distcache.md``
 for the contract, the bitwise conservation audits, and when to prefer the
@@ -32,7 +41,12 @@ Typical use, directly or through ``repro.cli tenants --cache-partitions N``::
     report.baseline             # global-cache summary for the same seed
 """
 
-from repro.distcache.directory import CrossShardDirectory, DirectoryEntry
+from repro.distcache.directory import (
+    CrossShardDirectory,
+    DirectoryDelta,
+    DirectoryEntry,
+    verify_delta_fold,
+)
 from repro.distcache.engine import (
     PartitionedEconomyEngine,
     RemoteAccessModel,
@@ -48,11 +62,20 @@ from repro.distcache.merge import (
     verify_wallet_integrity,
 )
 from repro.distcache.partition import QueryRouter, StructurePartitioner
+from repro.distcache.placement import (
+    HandoffDecision,
+    HandoffRecord,
+    PlacementPolicy,
+)
 from repro.distcache.report import (
     distcache_divergence_table,
     distcache_partition_table,
+    distcache_placement_table,
 )
 from repro.distcache.runner import (
+    DEFAULT_ANCHOR_PERIOD,
+    PLACEMENT_MODES,
+    DirectoryPublication,
     DistCacheCellReport,
     DistCacheRunner,
     PartitionEpochResult,
@@ -65,10 +88,16 @@ from repro.distcache.runner import (
 )
 
 __all__ = [
+    "DEFAULT_ANCHOR_PERIOD",
+    "PLACEMENT_MODES",
     "CrossShardDirectory",
+    "DirectoryDelta",
     "DirectoryEntry",
+    "DirectoryPublication",
     "DistCacheCellReport",
     "DistCacheRunner",
+    "HandoffDecision",
+    "HandoffRecord",
     "PartitionCheckpoint",
     "PartitionEpochResult",
     "PartitionEpochTask",
@@ -76,17 +105,20 @@ __all__ = [
     "PartitionRunStats",
     "PartitionedCacheManager",
     "PartitionedEconomyEngine",
+    "PlacementPolicy",
     "QueryRouter",
     "RemoteAccessModel",
     "StructurePartitioner",
     "distcache_divergence_table",
     "distcache_partition_table",
+    "distcache_placement_table",
     "ledger_fold",
     "merge_partition_results",
     "outcome_charge_fold",
     "run_partition_epoch",
     "run_partitioned_cell",
     "run_partitioned_experiment",
+    "verify_delta_fold",
     "verify_payment_conservation",
     "verify_subaccount_integrity",
     "verify_wallet_integrity",

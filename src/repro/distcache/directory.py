@@ -16,9 +16,19 @@ semantics contract (``docs/distcache.md``):
   deterministic regardless of worker scheduling.
 * **Ownership consistency** — these invariants are *not* relaxed and are
   re-verified at every publication: a key appears in at most one
-  partition's snapshot, the holder is the key's hash-owner under the
-  :class:`~repro.distcache.partition.StructurePartitioner`, and every
-  entry is backed by a structure that was live at the snapshot instant.
+  partition's snapshot, the holder is the key's owner under the
+  :class:`~repro.distcache.partition.StructurePartitioner` (override
+  table included — an adaptive handoff changes who the *rightful* holder
+  is, never how many there may be), and every entry is backed by a
+  structure that was live at the snapshot instant.
+
+Barriers do not have to republish the whole snapshot: a
+:class:`DirectoryDelta` carries only the adds/removes/moves against the
+previous epoch, and :meth:`CrossShardDirectory.apply_delta` folds it
+forward with the invariant ``prev + delta == full snapshot`` verified by
+the runner at every barrier (plus a periodic full-snapshot anchor for
+audit). The wire cost of both forms is modeled deterministically so
+reports and benchmarks can compare bytes published per barrier.
 
 Example:
     >>> from repro.distcache.partition import StructurePartitioner
@@ -39,10 +49,19 @@ Example:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.distcache.partition import StructurePartitioner
 from repro.errors import DistCacheError
+
+
+#: Modeled wire cost of one advertised entry beyond its key: the owning
+#: partition (4 bytes) plus the structure's size (8 bytes).
+_ENTRY_OVERHEAD_BYTES = 12
+#: Modeled wire cost of one tombstone beyond its key: a record tag.
+_REMOVE_OVERHEAD_BYTES = 4
+#: Modeled fixed cost of any publication: versions plus record counts.
+_HEADER_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -58,6 +77,108 @@ class DirectoryEntry:
             raise DistCacheError("directory entry key must not be empty")
         if self.size_bytes < 0:
             raise DistCacheError("directory entry size_bytes must be >= 0")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Modeled bytes this entry costs to publish."""
+        return len(self.key.encode("utf-8")) + _ENTRY_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class DirectoryDelta:
+    """One barrier's directory changes against the previous epoch.
+
+    The delta is what a barrier actually publishes when a full snapshot
+    is not due: entries newly advertised (``adds``), keys no longer
+    advertised (``removes``), and entries whose owner or size changed
+    (``moves`` — an adaptive ownership handoff shows up here). Folding it
+    onto the previous snapshot with
+    :meth:`CrossShardDirectory.apply_delta` must reproduce the full
+    snapshot exactly; the runner verifies that at every barrier.
+
+    Attributes:
+        base_version: the epoch this delta applies on top of.
+        version: the epoch the fold produces.
+        adds: entries absent at ``base_version`` (key-sorted).
+        removes: keys advertised at ``base_version`` but no longer
+            (sorted).
+        moves: entries present at both epochs whose partition or size
+            changed (key-sorted).
+
+    Example:
+        >>> delta = DirectoryDelta(base_version=1, version=2,
+        ...     adds=(DirectoryEntry("column:a", 0, 64),), removes=(),
+        ...     moves=())
+        >>> delta.change_count, delta.is_empty
+        (1, False)
+    """
+
+    base_version: int
+    version: int
+    adds: Tuple[DirectoryEntry, ...]
+    removes: Tuple[str, ...]
+    moves: Tuple[DirectoryEntry, ...]
+
+    def __post_init__(self) -> None:
+        if self.version != self.base_version + 1:
+            raise DistCacheError(
+                f"delta must advance the version by exactly 1, got "
+                f"{self.base_version} -> {self.version}")
+        touched = ([entry.key for entry in self.adds] + list(self.removes)
+                   + [entry.key for entry in self.moves])
+        if len(set(touched)) != len(touched):
+            raise DistCacheError(
+                "delta records must touch each key at most once")
+
+    @property
+    def change_count(self) -> int:
+        """Total records carried (adds + removes + moves)."""
+        return len(self.adds) + len(self.removes) + len(self.moves)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the directory did not change this epoch."""
+        return self.change_count == 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Modeled bytes publishing this delta costs."""
+        total = _HEADER_BYTES
+        for entry in self.adds:
+            total += entry.wire_bytes
+        for key in self.removes:
+            total += len(key.encode("utf-8")) + _REMOVE_OVERHEAD_BYTES
+        for entry in self.moves:
+            total += entry.wire_bytes
+        return total
+
+    @classmethod
+    def between(cls, previous: "CrossShardDirectory",
+                current: "CrossShardDirectory") -> "DirectoryDelta":
+        """The delta that folds ``previous`` forward onto ``current``.
+
+        Deterministic: adds/removes/moves come out key-sorted, so two
+        processes diffing the same snapshots publish identical deltas.
+        """
+        prev_entries = previous.entries_by_key()
+        adds: List[DirectoryEntry] = []
+        moves: List[DirectoryEntry] = []
+        for key in sorted(current.entries_by_key()):
+            entry = current.entry(key)
+            before = prev_entries.get(key)
+            if before is None:
+                adds.append(entry)
+            elif before != entry:
+                moves.append(entry)
+        removes = tuple(sorted(
+            key for key in prev_entries if not current.contains(key)))
+        return cls(
+            base_version=previous.version,
+            version=current.version,
+            adds=tuple(adds),
+            removes=removes,
+            moves=tuple(moves),
+        )
 
 
 class CrossShardDirectory:
@@ -161,6 +282,55 @@ class CrossShardDirectory:
         return tuple(entry for entry in self._entries.values()
                      if entry.partition == partition)
 
+    def entries_by_key(self) -> Dict[str, DirectoryEntry]:
+        """The advertised entries as a fresh ``key -> entry`` mapping."""
+        return dict(self._entries)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Modeled bytes publishing this snapshot in full costs."""
+        return _HEADER_BYTES + sum(entry.wire_bytes
+                                   for entry in self._entries.values())
+
+    # -- delta folding ---------------------------------------------------------
+
+    def apply_delta(self, delta: DirectoryDelta) -> "CrossShardDirectory":
+        """Fold a barrier's delta onto this snapshot.
+
+        The result advertises exactly what the delta's publisher held:
+        ``prev + delta == full snapshot`` is the invariant the runner
+        re-verifies at every barrier (:func:`verify_delta_fold`).
+
+        Raises:
+            DistCacheError: if the delta was cut against a different
+                version, adds a key already advertised, or removes/moves
+                a key that is not.
+        """
+        if delta.base_version != self._version:
+            raise DistCacheError(
+                f"delta applies to version {delta.base_version}, but this "
+                f"snapshot is version {self._version}")
+        entries = dict(self._entries)
+        for key in delta.removes:
+            if entries.pop(key, None) is None:
+                raise DistCacheError(
+                    f"delta removes {key!r}, which is not advertised")
+        for entry in delta.moves:
+            if entry.key not in entries:
+                raise DistCacheError(
+                    f"delta moves {entry.key!r}, which is not advertised")
+            entries[entry.key] = entry
+        for entry in delta.adds:
+            if entry.key in entries:
+                raise DistCacheError(
+                    f"delta adds {entry.key!r}, which is already advertised")
+            entries[entry.key] = entry
+        return CrossShardDirectory(entries, version=delta.version)
+
+    def same_entries(self, other: "CrossShardDirectory") -> bool:
+        """Whether two snapshots advertise identical entries (any order)."""
+        return self.entries_by_key() == other.entries_by_key()
+
     def verify_backed_by(self, live_keys_by_partition:
                          Mapping[int, Sequence[str]]) -> None:
         """Audit that every entry's owner still holds the structure.
@@ -181,3 +351,39 @@ class CrossShardDirectory:
                     f"directory entry {key!r} is not backed by a live "
                     f"structure on its owner partition {entry.partition}"
                 )
+
+
+def verify_delta_fold(previous: CrossShardDirectory, delta: DirectoryDelta,
+                      full: CrossShardDirectory) -> None:
+    """Audit one barrier's delta publication: ``prev + delta == full``.
+
+    Folds the delta onto the previous snapshot and demands the result
+    advertise exactly the full snapshot's entries at its version. Run by
+    the runner at **every** barrier (not only anchors), so a divergent
+    delta can never propagate silently.
+
+    Raises:
+        DistCacheError: when the fold and the full snapshot disagree.
+
+    Example:
+        >>> prev = CrossShardDirectory.empty()
+        >>> from repro.distcache.partition import StructurePartitioner
+        >>> partitioner = StructurePartitioner(partition_count=1)
+        >>> full = CrossShardDirectory.publish({0: [("column:a", 64)]},
+        ...                                    partitioner, version=1)
+        >>> delta = DirectoryDelta.between(prev, full)
+        >>> verify_delta_fold(prev, delta, full)  # silently passes
+        >>> bad = DirectoryDelta(base_version=0, version=1, adds=(),
+        ...                      removes=(), moves=())
+        >>> verify_delta_fold(prev, bad, full)
+        Traceback (most recent call last):
+            ...
+        repro.errors.DistCacheError: directory delta fold diverged at version 1: folding the delta onto version 0 does not reproduce the full snapshot
+    """
+    folded = previous.apply_delta(delta)
+    if folded.version != full.version or not folded.same_entries(full):
+        raise DistCacheError(
+            f"directory delta fold diverged at version {full.version}: "
+            f"folding the delta onto version {previous.version} does not "
+            f"reproduce the full snapshot"
+        )

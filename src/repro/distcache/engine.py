@@ -115,7 +115,8 @@ class PartitionedEconomyEngine(EconomyEngine):
                  config: EconomyConfig = EconomyConfig(),
                  amortization: Optional[AmortizationPolicy] = None,
                  tenants: Optional[TenantRegistry] = None,
-                 remote: RemoteAccessModel = RemoteAccessModel()) -> None:
+                 remote: RemoteAccessModel = RemoteAccessModel(),
+                 record_placement_bids: bool = False) -> None:
         if not isinstance(cache, PartitionedCacheManager):
             raise DistCacheError(
                 "PartitionedEconomyEngine requires a PartitionedCacheManager"
@@ -124,12 +125,14 @@ class PartitionedEconomyEngine(EconomyEngine):
                          config=config, amortization=amortization,
                          tenants=tenants)
         self._remote = remote
+        self._record_bids = record_placement_bids
         self._remote_hits = 0
         self._remote_structure_accesses = 0
         self._remote_bytes = 0.0
         self._remote_dollars = 0.0
         self._foreign_regret: Dict[str, Tuple[CacheStructure, float]] = {}
         self._forwarded_regret_received = 0.0
+        self._placement_bids: Dict[str, float] = {}
 
     # -- introspection ---------------------------------------------------------
 
@@ -315,6 +318,41 @@ class PartitionedEconomyEngine(EconomyEngine):
         """Total regret absorbed from other partitions so far."""
         return self._forwarded_regret_received
 
+    # -- placement bids --------------------------------------------------------
+
+    def drain_placement_bids(self) -> Tuple[Tuple[str, float], ...]:
+        """Hand over (and clear) this epoch's per-structure benefit tally.
+
+        Each chosen plan's structure accesses are valued through the
+        remote-access model — a remote access at the surcharge it
+        actually paid, a local access at the surcharge it avoided — so
+        the adaptive :class:`~repro.distcache.placement.PlacementPolicy`
+        compares challenger and incumbent in the same currency. Entries
+        come back in first-touch order (deterministic: the query stream
+        is replayed in a fixed order). Recording is pure observation and
+        only happens when the engine was built with
+        ``record_placement_bids=True`` (adaptive runs) — hash-placement
+        runs never pay for, pickle, or drain the tally.
+        """
+        items = tuple(self._placement_bids.items())
+        self._placement_bids.clear()
+        return items
+
+    def transfer_regret_to(self, other: "PartitionedEconomyEngine",
+                           structure: CacheStructure) -> float:
+        """Move a structure's in-flight regret to its new owner's tracker.
+
+        Part of an ownership handoff: demand signal already accumulated
+        here must follow the structure, or the new owner would rediscover
+        it one epoch late. Returns the amount moved (usually 0.0 for a
+        resident structure — building it reset the regret — but eviction
+        races can leave a residue).
+        """
+        amount = self._regret.reset(structure.key)
+        if amount > 0:
+            other._regret.distribute((structure,), amount)
+        return amount
+
     # -- owned-only investment -------------------------------------------------
 
     def _available_column_keys(self) -> Set[str]:
@@ -350,16 +388,33 @@ class PartitionedEconomyEngine(EconomyEngine):
     def _settle_chosen_plan(self, query: Query, result: NegotiationResult,
                             now: float) -> float:
         recovered = super()._settle_chosen_plan(query, result, now)
+        cache = self.partitioned_cache
         accesses = 0
         for structure in result.chosen.plan.structures:
-            entry = self.partitioned_cache.remote_entry(structure.key)
+            entry = cache.remote_entry(structure.key)
             if entry is None:
+                # A locally resident structure defends its placement at
+                # the surcharge this partition avoids by owning it. Only
+                # adaptive runs pay for the tally — under hash placement
+                # nothing ever drains it.
+                if self._record_bids and cache.contains(structure.key):
+                    size = cache.entry(structure.key).size_bytes
+                    avoided, _, _ = self._remote.surcharge(size)
+                    self._record_placement_bid(structure.key, avoided)
                 continue
             accesses += 1
             dollars, _, shipped = self._remote.surcharge(entry.size_bytes)
             self._remote_dollars += dollars
             self._remote_bytes += shipped
+            if self._record_bids:
+                self._record_placement_bid(structure.key, dollars)
         if accesses:
             self._remote_hits += 1
             self._remote_structure_accesses += accesses
         return recovered
+
+    def _record_placement_bid(self, key: str, dollars: float) -> None:
+        """Tally one access's placement benefit (observation only)."""
+        if dollars > 0:
+            self._placement_bids[key] = (
+                self._placement_bids.get(key, 0.0) + dollars)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.cache.manager import CacheConfig, CacheManager
-from repro.cache.storage import EvictionRecord
+from repro.cache.storage import CacheEntry, EvictionRecord
 from repro.distcache.directory import CrossShardDirectory, DirectoryEntry
 from repro.distcache.partition import StructurePartitioner
 from repro.errors import DistCacheError
@@ -66,6 +66,16 @@ class PartitionedCacheManager(CacheManager):
     def partitioner(self) -> StructurePartitioner:
         """The shared structure → partition mapping."""
         return self._partitioner
+
+    def set_partitioner(self, partitioner: StructurePartitioner) -> None:
+        """Install the partitioner carrying the latest ownership overrides.
+
+        Called by the runner when a settlement barrier applies adaptive
+        handoffs: every partition must consult the same override table or
+        the disjointness the directory and merges rely on would break.
+        """
+        partitioner.validate_index(self._partition_index)
+        self._partitioner = partitioner
 
     @property
     def partition_index(self) -> int:
@@ -140,3 +150,58 @@ class PartitionedCacheManager(CacheManager):
             )
         return super().admit(structure, size_bytes, build_cost,
                              maintenance_rate, now)
+
+    # -- ownership handoff -----------------------------------------------------
+
+    def extract_entry(self, key: str) -> CacheEntry:
+        """Release a live entry for handoff to another partition.
+
+        Unlike :meth:`CacheManager.evict` this records **no** eviction —
+        the structure is not leaving the cache tier, only changing owner —
+        and the entry keeps its full accounting state (build cost,
+        billing watermark, usage recency) so the new owner continues the
+        bookkeeping exactly where this partition stopped.
+
+        Raises:
+            DistCacheError: if the key is not resident here.
+        """
+        if not self.contains(key):
+            raise DistCacheError(
+                f"cannot hand off {key!r}: not resident on partition "
+                f"{self._partition_index}")
+        entry = self._entries.pop(key)
+        self._lru.discard(key)
+        return entry
+
+    def install_entry(self, entry: CacheEntry, now: float
+                      ) -> List[EvictionRecord]:
+        """Adopt an entry handed off by the previous owner.
+
+        The ownership guard applies just like :meth:`admit` (the runner
+        installs the override table *before* moving entries, so the new
+        owner genuinely owns the key by the time this runs), and a
+        capacity budget is honoured by LRU-evicting local entries to make
+        room — the handoff must not silently overcommit the partition.
+
+        Raises:
+            DistCacheError: if this partition does not own the key, or
+                the key is already resident.
+        """
+        key = entry.key
+        if not self.owns(key):
+            raise DistCacheError(
+                f"cannot install {key!r} on partition "
+                f"{self._partition_index}: partition "
+                f"{self._partitioner.partition_of(key)} owns it")
+        if self.contains(key):
+            raise DistCacheError(
+                f"cannot install {key!r}: already resident on partition "
+                f"{self._partition_index}")
+        evicted: List[EvictionRecord] = []
+        if self._config.capacity_bytes is not None:
+            evicted = self._evict_to_fit(entry.size_bytes, now)
+        self._entries[key] = entry
+        self._lru.touch(key)
+        self._peak_disk_used_bytes = max(self._peak_disk_used_bytes,
+                                         self.disk_used_bytes)
+        return evicted

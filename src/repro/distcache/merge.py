@@ -50,6 +50,10 @@ class PartitionCheckpoint:
     All tuples are indexed by partition. ``query_payments`` (the provider
     side) and ``outcome_charges`` (the tenant side) are verified bitwise
     equal per partition before the checkpoint is recorded.
+    ``handoffs_applied`` counts the adaptive-placement ownership handoffs
+    this barrier applied (always 0 under ``--placement hash``); the
+    conservation audit runs *after* them, so every checkpoint certifies
+    that moving residency moved no money.
     """
 
     time_s: float
@@ -58,6 +62,7 @@ class PartitionCheckpoint:
     subaccount_credit: Tuple[float, ...]
     query_payments: Tuple[float, ...]
     outcome_charges: Tuple[float, ...]
+    handoffs_applied: int = 0
 
     @property
     def conserved_total(self) -> float:

@@ -10,6 +10,13 @@ sharding, so the two layers cannot drift):
   :class:`~repro.distcache.directory.CrossShardDirectory` and pays a
   remote-access surcharge to use it. Ownership disjointness is what makes
   the per-partition caches and provider sub-accounts mergeable exactly.
+  An **ownership-override table** is consulted before the hash fallback:
+  adaptive placement (:mod:`repro.distcache.placement`) hands structures
+  to the partition deriving the most priced benefit from them, and the
+  override table is how those handoffs become the new ownership truth —
+  every consumer (directory checks, admission guards, regret routing)
+  reads ownership through :meth:`StructurePartitioner.partition_of`, so
+  an override takes effect everywhere at once.
 * :class:`QueryRouter` — which partition **serves** a query. Routing is
   by template affinity (stable hash of the template name): queries
   instantiated from one template touch the same columns and indexes, so
@@ -31,8 +38,8 @@ Example:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import DistCacheError
 from repro.partitioning import partition_index
@@ -48,21 +55,89 @@ class StructurePartitioner:
 
     Attributes:
         partition_count: number of cache partitions; any count >= 1 is valid.
+        overrides: the ownership-override table — ``(key, partition)``
+            pairs consulted before the hash fallback, normalised to
+            key-sorted order with no entry that merely restates the hash
+            owner (so two partitioners with the same effective mapping
+            compare and hash equal). Empty by default: pure hash
+            placement, byte-identical to the pre-placement behaviour.
+
+    Example:
+        >>> base = StructurePartitioner(partition_count=2)
+        >>> key = "column:lineitem.l_quantity"
+        >>> moved = base.with_overrides({key: 1 - base.partition_of(key)})
+        >>> moved.partition_of(key) == 1 - base.partition_of(key)
+        True
+        >>> moved.hash_owner_of(key) == base.partition_of(key)
+        True
+        >>> moved.with_overrides({key: base.partition_of(key)}).overrides
+        ()
     """
 
     partition_count: int
+    overrides: Tuple[Tuple[str, int], ...] = ()
+    _override_map: Dict[str, int] = field(
+        init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.partition_count < 1:
             raise DistCacheError(
                 f"partition_count must be >= 1, got {self.partition_count}"
             )
+        seen: Dict[str, int] = {}
+        for key, partition in self.overrides:
+            if not key:
+                raise DistCacheError("override key must not be empty")
+            if key in seen:
+                raise DistCacheError(
+                    f"duplicate ownership override for {key!r}")
+            if not 0 <= partition < self.partition_count:
+                raise DistCacheError(
+                    f"override for {key!r} targets partition {partition}, "
+                    f"outside [0, {self.partition_count})"
+                )
+            seen[key] = partition
+        canonical = tuple(sorted(
+            (key, partition) for key, partition in seen.items()
+            if partition_index(key, self.partition_count) != partition
+        ))
+        object.__setattr__(self, "overrides", canonical)
+        object.__setattr__(self, "_override_map", dict(canonical))
 
     def partition_of(self, key: str) -> int:
-        """The partition that owns structure ``key`` (stable across processes)."""
+        """The partition that owns structure ``key``: the override table
+        first, the stable hash as fallback."""
+        if not key:
+            raise DistCacheError("structure key must not be empty")
+        override = self._override_map.get(key)
+        if override is not None:
+            return override
+        return partition_index(key, self.partition_count)
+
+    def hash_owner_of(self, key: str) -> int:
+        """The pure hash owner of ``key``, ignoring any override."""
         if not key:
             raise DistCacheError("structure key must not be empty")
         return partition_index(key, self.partition_count)
+
+    def override_of(self, key: str) -> Optional[int]:
+        """The override entry for ``key``, if one is in force."""
+        return self._override_map.get(key)
+
+    def with_overrides(self, handoffs: Mapping[str, int]
+                       ) -> "StructurePartitioner":
+        """A new partitioner with ``handoffs`` merged over the current table.
+
+        A handoff that restores a key to its hash owner *removes* the
+        key's entry (the canonical form keeps no redundant overrides), so
+        repeated handoffs cannot grow the table without bound.
+        """
+        merged = dict(self._override_map)
+        merged.update(handoffs)
+        return StructurePartitioner(
+            partition_count=self.partition_count,
+            overrides=tuple(merged.items()),
+        )
 
     def owns(self, partition: int, key: str) -> bool:
         """Whether ``partition`` is the owner of structure ``key``."""

@@ -1,13 +1,19 @@
 """Report tables specific to partitioned-cache runs.
 
-Two sections accompany the standard tenant tables of a partitioned run:
+Up to three sections accompany the standard tenant tables of a
+partitioned run:
 
 * the **partition table** — per-partition load, local cache footprint,
   remote traffic, and sub-account balances, plus the audit trail line
   (barriers verified, conservation exact);
 * the **divergence table** — the semantics price tag: headline metrics of
   the partitioned run against the global-cache run of the same seed, so
-  nobody mistakes partitioned numbers for replicated ones.
+  nobody mistakes partitioned numbers for replicated ones;
+* the **placement table** (adaptive runs only — ``--placement hash``
+  output stays byte-identical to the pre-placement runner) — per-barrier
+  directory churn (adds/removes/moves, delta versus full bytes, anchor
+  marks) and the ownership handoffs applied, with the handoff headline in
+  the title for smoke tests to grep.
 """
 
 from __future__ import annotations
@@ -69,4 +75,41 @@ def distcache_divergence_table(report: DistCacheCellReport) -> Optional[str]:
     title = (f"Divergence vs global cache - {partitioned.scheme_name} "
              f"(seed {report.cell.config.seed}; partitioned semantics, "
              f"see docs/distcache.md)")
+    return format_table(headers, rows, title=title)
+
+
+def distcache_placement_table(report: DistCacheCellReport) -> Optional[str]:
+    """Per-barrier placement and directory-publication accounting.
+
+    Returns ``None`` for ``--placement hash`` runs: the section is new
+    with adaptive placement, and hash-mode output is pinned byte-identical
+    to the pre-placement runner.
+    """
+    if report.placement != "adaptive":
+        return None
+    headers = ["barrier", "entries", "adds", "removes", "moves",
+               "delta_bytes", "full_bytes", "published", "handoffs"]
+    handoffs_by_epoch = {}
+    for record in report.handoffs:
+        handoffs_by_epoch[record.epoch] = (
+            handoffs_by_epoch.get(record.epoch, 0) + 1)
+    rows: List[List[object]] = []
+    for pub in report.publications:
+        rows.append([
+            pub.epoch,
+            pub.entries,
+            pub.adds,
+            pub.removes,
+            pub.moves,
+            pub.delta_bytes,
+            pub.full_bytes,
+            "full" if pub.anchored else "delta",
+            handoffs_by_epoch.get(pub.epoch, 0),
+        ])
+    title = (f"Placement - adaptive (handoffs: {report.handoff_count} "
+             f"applied over {report.barriers_verified} barriers; "
+             f"threshold ${report.handoff_threshold:g}/epoch; "
+             f"directory bytes published: {report.directory_bytes_published} "
+             f"vs {report.directory_bytes_full} full; "
+             f"conservation: exact)")
     return format_table(headers, rows, title=title)

@@ -9,8 +9,14 @@ One partitioned cell run executes like this::
         fanned over a ProcessPoolExecutor when max_workers > 1)
         at the barrier:
             settle maintenance on every partition up to the barrier
+            [adaptive placement] drain per-structure benefit bids,
+            apply the PlacementPolicy's ownership handoffs (override
+            table + residency state + in-flight regret move together)
+            route foreign regret to the (possibly new) owners
+            publish the directory: a delta against the previous epoch,
+            fold-verified (prev + delta == full) with a periodic
+            full-snapshot anchor
             verify sub-account ledger integrity + payment conservation
-            publish a fresh CrossShardDirectory from live snapshots
     final barrier: wallet integrity audit, fold into a TenantCellResult
 
 Workers are stateless between epochs: a partition's entire mutable state
@@ -35,7 +41,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.distcache.directory import CrossShardDirectory
+from repro.distcache.directory import (
+    CrossShardDirectory,
+    DirectoryDelta,
+    verify_delta_fold,
+)
 from repro.distcache.engine import PartitionedEconomyEngine, RemoteAccessModel
 from repro.distcache.manager import PartitionedCacheManager
 from repro.distcache.merge import (
@@ -46,6 +56,10 @@ from repro.distcache.merge import (
     verify_wallet_integrity,
 )
 from repro.distcache.partition import QueryRouter, StructurePartitioner
+from repro.distcache.placement import (
+    HandoffRecord,
+    PlacementPolicy,
+)
 from repro.economy.account import CloudAccount
 from repro.economy.tenancy import TenantRegistry
 from repro.errors import DistCacheError
@@ -94,6 +108,36 @@ class PartitionEpochResult:
     last_settled_s: float
 
 
+#: Placement modes: ``hash`` pins every structure to its hash owner
+#: (byte-identical to the pre-placement behaviour), ``adaptive`` applies
+#: demand-driven ownership handoffs at settlement barriers.
+PLACEMENT_MODES = ("hash", "adaptive")
+
+#: Publish a full-snapshot anchor every this many barriers by default;
+#: all other barriers publish (and fold-verify) only the delta.
+DEFAULT_ANCHOR_PERIOD = 8
+
+
+@dataclass(frozen=True)
+class DirectoryPublication:
+    """What one barrier's directory publication cost, full versus delta."""
+
+    epoch: int
+    entries: int
+    adds: int
+    removes: int
+    moves: int
+    delta_bytes: int
+    full_bytes: int
+    anchored: bool
+
+    @property
+    def published_bytes(self) -> int:
+        """Modeled bytes actually shipped: the full snapshot at anchors,
+        the delta everywhere else."""
+        return self.full_bytes if self.anchored else self.delta_bytes
+
+
 @dataclass(frozen=True)
 class PartitionRunStats:
     """End-of-run accounting of one partition, for the report tables."""
@@ -121,6 +165,10 @@ class DistCacheCellReport:
     directory_size: int
     remote: RemoteAccessModel
     baseline: Optional[MetricsSummary] = None
+    placement: str = "hash"
+    handoff_threshold: float = 0.0
+    handoffs: Tuple[HandoffRecord, ...] = ()
+    publications: Tuple[DirectoryPublication, ...] = ()
 
     @property
     def barriers_verified(self) -> int:
@@ -131,6 +179,26 @@ class DistCacheCellReport:
     def remote_hit_count(self) -> int:
         """Chosen plans across all partitions that touched remote state."""
         return sum(stats.remote_hits for stats in self.partitions)
+
+    @property
+    def remote_dollars_paid(self) -> float:
+        """Total modeled interconnect spend across all partitions."""
+        return sum(stats.remote_dollars for stats in self.partitions)
+
+    @property
+    def handoff_count(self) -> int:
+        """Ownership handoffs applied over the whole run."""
+        return len(self.handoffs)
+
+    @property
+    def directory_bytes_published(self) -> int:
+        """Modeled bytes the barriers actually shipped (deltas + anchors)."""
+        return sum(pub.published_bytes for pub in self.publications)
+
+    @property
+    def directory_bytes_full(self) -> int:
+        """What full republication at every barrier would have shipped."""
+        return sum(pub.full_bytes for pub in self.publications)
 
 
 def run_partition_epoch(task: PartitionEpochTask) -> PartitionEpochResult:
@@ -179,27 +247,64 @@ def run_partition_epoch(task: PartitionEpochTask) -> PartitionEpochResult:
 
 
 class DistCacheRunner:
-    """Runs tenant cells in partitioned-cache mode."""
+    """Runs tenant cells in partitioned-cache mode.
+
+    Args:
+        partition_count: cache partitions per cell.
+        max_workers: process-pool size for the per-epoch partition tasks.
+        remote: the remote-access surcharge model in force.
+        compare_baseline: also run the global-cache twin for the
+            divergence report (skipped with one partition).
+        placement: ``"hash"`` (static hash ownership, byte-identical to
+            the pre-placement runner) or ``"adaptive"`` (demand-driven
+            ownership handoffs at settlement barriers).
+        handoff_threshold: hysteresis margin in dollars per epoch a
+            challenger must exceed the incumbent by (adaptive mode).
+        anchor_period: publish a full-snapshot anchor every this many
+            barriers; the others publish fold-verified deltas.
+    """
 
     def __init__(self, partition_count: int, max_workers: int = 1,
                  remote: RemoteAccessModel = RemoteAccessModel(),
-                 compare_baseline: bool = True) -> None:
+                 compare_baseline: bool = True,
+                 placement: str = "hash",
+                 handoff_threshold: float = 0.0,
+                 anchor_period: int = DEFAULT_ANCHOR_PERIOD) -> None:
         if partition_count < 1:
             raise DistCacheError(
                 f"partition_count must be >= 1, got {partition_count}")
         if max_workers < 1:
             raise DistCacheError(
                 f"max_workers must be >= 1, got {max_workers}")
-        self._partitioner = StructurePartitioner(partition_count)
+        if placement not in PLACEMENT_MODES:
+            raise DistCacheError(
+                f"placement must be one of {', '.join(PLACEMENT_MODES)}; "
+                f"got {placement!r}")
+        if not handoff_threshold >= 0:  # `not >=` also rejects NaN
+            raise DistCacheError(
+                f"handoff_threshold must be >= 0, got {handoff_threshold}")
+        if anchor_period < 1:
+            raise DistCacheError(
+                f"anchor_period must be >= 1, got {anchor_period}")
+        self._base_partitioner = StructurePartitioner(partition_count)
+        self._partitioner = self._base_partitioner
         self._router = QueryRouter(partition_count)
         self._max_workers = max_workers
         self._remote = remote
         self._compare_baseline = compare_baseline
+        self._placement = placement
+        self._handoff_threshold = handoff_threshold
+        self._anchor_period = anchor_period
 
     @property
     def partition_count(self) -> int:
         """Cache partitions per cell."""
         return self._partitioner.partition_count
+
+    @property
+    def placement(self) -> str:
+        """The placement mode in force (``hash`` or ``adaptive``)."""
+        return self._placement
 
     # -- assembly --------------------------------------------------------------
 
@@ -237,6 +342,7 @@ class DistCacheRunner:
                     config=economy,
                     tenants=tenants,
                     remote=self._remote,
+                    record_placement_bids=self._placement == "adaptive",
                 )
 
             schemes.append(system.scheme(
@@ -289,6 +395,14 @@ class DistCacheRunner:
         if config.warmup_queries:
             raise DistCacheError(
                 "partitioned mode does not support warmup_queries")
+        # Ownership overrides are per-cell state: every cell starts from
+        # pure hash placement, whatever the previous cell handed off.
+        self._partitioner = self._base_partitioner
+        policy: Optional[PlacementPolicy] = None
+        if self._placement == "adaptive":
+            policy = PlacementPolicy(
+                self.partition_count,
+                handoff_threshold=self._handoff_threshold)
         populated = build_population(config)
         queries = list(populated.queries)
         schemes = self._build_schemes(config, populated.profiles)
@@ -325,6 +439,8 @@ class DistCacheRunner:
         steps: List[List[SchemeStep]] = [[] for _ in schemes]
         maintenance: List[List[Tuple[float, float]]] = [[] for _ in schemes]
         checkpoints: List[PartitionCheckpoint] = []
+        handoffs: List[HandoffRecord] = []
+        publications: List[DirectoryPublication] = []
         directory = CrossShardDirectory.empty()
 
         executor: Optional[ProcessPoolExecutor] = None
@@ -370,10 +486,18 @@ class DistCacheRunner:
                     maintenance[partition].extend(result.maintenance)
                     last_settled[partition] = result.last_settled_s
 
+                applied: List[HandoffRecord] = []
+                if policy is not None:
+                    applied = self._apply_handoffs(
+                        schemes, policy, epoch=epoch + 1, now=barrier)
+                    handoffs.extend(applied)
                 self._forward_regret(schemes)
-                directory = self._publish_directory(schemes, epoch + 1)
+                directory, publication = self._publish_directory(
+                    schemes, epoch + 1, previous=directory)
+                publications.append(publication)
                 checkpoints.append(self._checkpoint(
-                    schemes, barrier, epoch + 1, directory))
+                    schemes, barrier, epoch + 1, directory,
+                    handoffs_applied=len(applied)))
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -400,6 +524,10 @@ class DistCacheRunner:
             directory_size=len(directory),
             remote=self._remote,
             baseline=baseline,
+            placement=self._placement,
+            handoff_threshold=self._handoff_threshold,
+            handoffs=tuple(handoffs),
+            publications=tuple(publications),
         )
 
     def run_cells(self, configs: Sequence[TenantExperimentConfig]
@@ -411,6 +539,68 @@ class DistCacheRunner:
         return [self.run_cell(config) for config in cells]
 
     # -- barrier work ----------------------------------------------------------
+
+    def _apply_handoffs(self, schemes: Sequence[CachingScheme],
+                        policy: PlacementPolicy, epoch: int,
+                        now: float) -> List[HandoffRecord]:
+        """Adaptive placement's barrier step: decide and apply handoffs.
+
+        Drains every engine's per-structure benefit bids into the policy,
+        asks it for this epoch's handoff set (only structures currently
+        resident on their owner are eligible — a handoff always has
+        residency state to move), then applies each handoff atomically
+        from the run's perspective:
+
+        1. the ownership-override table is extended and installed on
+           every partition (one shared :class:`StructurePartitioner`, so
+           directory checks, admission guards, and regret routing all
+           flip together);
+        2. the structure's :class:`~repro.cache.storage.CacheEntry` —
+           billing watermark, usage recency, amortisation state — moves
+           to the new owner's cache without an eviction record;
+        3. the structure's in-flight regret moves to the new owner's
+           tracker.
+
+        No account is touched, so the bitwise sub-account reconciliation
+        of the same barrier is unaffected; subsequent epochs bill the
+        structure's maintenance and amortisation to the new owner's
+        traffic.
+        """
+        engines = [self._engine_of(scheme) for scheme in schemes]
+        for partition, engine in enumerate(engines):
+            for key, benefit in engine.drain_placement_bids():
+                policy.record(key, partition, benefit)
+
+        caches = [engine.partitioned_cache for engine in engines]
+        owners: Dict[str, int] = {}
+        for key in policy.pending_keys():
+            owner = self._partitioner.partition_of(key)
+            if caches[owner].contains(key):
+                owners[key] = owner
+        decisions = policy.propose(owners)
+        if not decisions:
+            return []
+
+        entries = [caches[decision.from_partition].extract_entry(decision.key)
+                   for decision in decisions]
+        self._partitioner = self._partitioner.with_overrides(
+            {decision.key: decision.to_partition for decision in decisions})
+        for cache in caches:
+            cache.set_partitioner(self._partitioner)
+
+        records: List[HandoffRecord] = []
+        for decision, entry in zip(decisions, entries):
+            caches[decision.to_partition].install_entry(entry, now=now)
+            engines[decision.from_partition].transfer_regret_to(
+                engines[decision.to_partition], entry.structure)
+            records.append(HandoffRecord(
+                epoch=epoch,
+                key=decision.key,
+                from_partition=decision.from_partition,
+                to_partition=decision.to_partition,
+                margin=decision.margin,
+            ))
+        return records
 
     def _forward_regret(self, schemes: Sequence[CachingScheme]) -> None:
         """Route regret earned on foreign-owned structures to their owners.
@@ -433,7 +623,20 @@ class DistCacheRunner:
                 engine.absorb_forwarded_regret(items)
 
     def _publish_directory(self, schemes: Sequence[CachingScheme],
-                           version: int) -> CrossShardDirectory:
+                           version: int,
+                           previous: CrossShardDirectory
+                           ) -> Tuple[CrossShardDirectory,
+                                      DirectoryPublication]:
+        """Publish one barrier's directory as a fold-verified delta.
+
+        The full snapshot is still assembled (and its ownership
+        invariants verified) every barrier — what changes is the modeled
+        *wire* cost: barriers ship only the delta against the previous
+        epoch, except every ``anchor_period``-th, which ships the full
+        snapshot as an audit anchor. ``prev + delta == full`` is
+        re-verified before the snapshot is installed, so a divergent
+        delta can never propagate.
+        """
         snapshots: Dict[int, Tuple[Tuple[str, int], ...]] = {}
         for partition, scheme in enumerate(schemes):
             cache = scheme.cache
@@ -445,15 +648,27 @@ class DistCacheRunner:
             partition: [key for key, _ in snapshot]
             for partition, snapshot in snapshots.items()
         })
+        delta = DirectoryDelta.between(previous, directory)
+        verify_delta_fold(previous, delta, directory)
+        publication = DirectoryPublication(
+            epoch=version,
+            entries=len(directory),
+            adds=len(delta.adds),
+            removes=len(delta.removes),
+            moves=len(delta.moves),
+            delta_bytes=delta.wire_bytes,
+            full_bytes=directory.wire_bytes,
+            anchored=version % self._anchor_period == 0,
+        )
         for scheme in schemes:
             cache = scheme.cache
             assert isinstance(cache, PartitionedCacheManager)
             cache.set_directory(directory)
-        return directory
+        return directory, publication
 
     def _checkpoint(self, schemes: Sequence[CachingScheme], barrier: float,
-                    epoch: int,
-                    directory: CrossShardDirectory) -> PartitionCheckpoint:
+                    epoch: int, directory: CrossShardDirectory,
+                    handoffs_applied: int = 0) -> PartitionCheckpoint:
         engines = [self._engine_of(scheme) for scheme in schemes]
         verify_subaccount_integrity(engines)
         payments, charges = verify_payment_conservation(engines)
@@ -465,6 +680,7 @@ class DistCacheRunner:
                 engine.account.credit for engine in engines),
             query_payments=payments,
             outcome_charges=charges,
+            handoffs_applied=handoffs_applied,
         )
 
     @staticmethod
@@ -502,10 +718,17 @@ def run_partitioned_cell(config: TenantExperimentConfig,
                          partitions: int,
                          max_workers: int = 1,
                          remote: RemoteAccessModel = RemoteAccessModel(),
-                         compare_baseline: bool = True) -> DistCacheCellReport:
+                         compare_baseline: bool = True,
+                         placement: str = "hash",
+                         handoff_threshold: float = 0.0,
+                         anchor_period: int = DEFAULT_ANCHOR_PERIOD
+                         ) -> DistCacheCellReport:
     """Run one tenant cell in partitioned-cache mode (convenience wrapper)."""
     runner = DistCacheRunner(partitions, max_workers=max_workers,
-                             remote=remote, compare_baseline=compare_baseline)
+                             remote=remote, compare_baseline=compare_baseline,
+                             placement=placement,
+                             handoff_threshold=handoff_threshold,
+                             anchor_period=anchor_period)
     return runner.run_cell(config)
 
 
@@ -513,9 +736,15 @@ def run_partitioned_experiment(configs: Sequence[TenantExperimentConfig],
                                partitions: int,
                                jobs: int = 1,
                                remote: RemoteAccessModel = RemoteAccessModel(),
-                               compare_baseline: bool = True
+                               compare_baseline: bool = True,
+                               placement: str = "hash",
+                               handoff_threshold: float = 0.0,
+                               anchor_period: int = DEFAULT_ANCHOR_PERIOD
                                ) -> List[DistCacheCellReport]:
     """Run many cells partitioned; ``jobs`` sizes each cell's worker pool."""
     runner = DistCacheRunner(partitions, max_workers=jobs, remote=remote,
-                             compare_baseline=compare_baseline)
+                             compare_baseline=compare_baseline,
+                             placement=placement,
+                             handoff_threshold=handoff_threshold,
+                             anchor_period=anchor_period)
     return runner.run_cells(configs)

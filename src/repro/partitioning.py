@@ -15,6 +15,13 @@ BLAKE2b (stdlib, keyed to nothing) is used rather than Python's built-in
 hash would partition differently in every worker, breaking the ownership
 disjointness that exact merges and directory consistency rely on.
 
+The hash is the *fallback*, not necessarily the last word: the distcache
+layer's :class:`~repro.distcache.partition.StructurePartitioner` consults
+its ownership-override table (populated by adaptive-placement handoffs,
+:mod:`repro.distcache.placement`) before falling back to
+:func:`partition_index`. Tenant sharding has no such table — tenant
+ownership is always the pure hash.
+
 Example:
     >>> stable_key_hash("column:lineitem.l_quantity") % 4 in range(4)
     True

@@ -206,3 +206,57 @@ class TestPartitionedTenantsCli:
         captured = capsys.readouterr()
         assert "economy" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestPlacementCli:
+    ARGS = ["tenants", "--n-tenants", "10", "--queries", "40",
+            "--schemes", "econ-cheap", "--top", "3",
+            "--settlement-period", "10.0", "--cache-partitions", "2"]
+
+    def test_hash_placement_is_byte_identical_to_default(self, capsys):
+        """``--placement hash`` (the PR 4 path) must not change a byte,
+        whatever the threshold knob says."""
+        assert main(self.ARGS) == 0
+        default = capsys.readouterr().out
+        assert main(self.ARGS + ["--placement", "hash",
+                                 "--handoff-threshold", "2.5"]) == 0
+        assert capsys.readouterr().out == default
+        assert "Placement - adaptive" not in default
+
+    def test_adaptive_placement_adds_the_report_section(self, capsys):
+        assert main(self.ARGS + ["--placement", "adaptive"]) == 0
+        output = capsys.readouterr().out
+        assert "Placement - adaptive (handoffs:" in output
+        assert "conservation: exact" in output
+        assert "delta_bytes" in output
+
+    def test_adaptive_composes_with_jobs(self, capsys):
+        extra = ["--placement", "adaptive", "--handoff-threshold", "0"]
+        assert main(self.ARGS + extra) == 0
+        sequential = capsys.readouterr().out
+        assert main(self.ARGS + extra + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_unknown_placement_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--placement", "sticky"])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "argument --placement:" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("value", ["-1", "-0.5", "much", "nan"])
+    def test_invalid_handoff_threshold_exits_2(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--handoff-threshold", value])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "argument --handoff-threshold:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_adaptive_requires_partitions(self, capsys):
+        assert main(["tenants", "--queries", "12", "--n-tenants", "4",
+                     "--placement", "adaptive"]) == 2
+        captured = capsys.readouterr()
+        assert "needs --cache-partitions" in captured.err
+        assert "Traceback" not in captured.err

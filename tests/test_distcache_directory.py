@@ -4,7 +4,13 @@ import pickle
 
 import pytest
 
-from repro.distcache import CrossShardDirectory, StructurePartitioner
+from repro.distcache import (
+    CrossShardDirectory,
+    DirectoryDelta,
+    DirectoryEntry,
+    StructurePartitioner,
+    verify_delta_fold,
+)
 from repro.errors import DistCacheError
 
 
@@ -99,3 +105,94 @@ class TestTransport:
         clone = pickle.loads(pickle.dumps(directory))
         assert clone.version == 7
         assert clone.entry(key).size_bytes == 42
+
+
+class TestDirectoryDelta:
+    """Delta publication: ``prev + delta == full`` at every barrier."""
+
+    def test_delta_from_empty_is_all_adds(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        full = CrossShardDirectory.publish(
+            {1: [(key, 42)]}, partitioner, version=1)
+        delta = DirectoryDelta.between(CrossShardDirectory.empty(), full)
+        assert [entry.key for entry in delta.adds] == [key]
+        assert delta.removes == () and delta.moves == ()
+        verify_delta_fold(CrossShardDirectory.empty(), delta, full)
+
+    def test_adds_removes_and_moves_are_classified(self, partitioner):
+        kept = _owned_key(partitioner, 0)
+        dropped = _owned_key(partitioner, 1)
+        grown = _owned_key(partitioner, 2)
+        added = _owned_key(partitioner, 0, base="index:t.i")
+        prev = CrossShardDirectory.publish(
+            {0: [(kept, 10)], 1: [(dropped, 20)], 2: [(grown, 30)]},
+            partitioner, version=1)
+        cur = CrossShardDirectory.publish(
+            {0: [(kept, 10), (added, 5)], 2: [(grown, 31)]},
+            partitioner, version=2)
+        delta = DirectoryDelta.between(prev, cur)
+        assert [entry.key for entry in delta.adds] == [added]
+        assert delta.removes == (dropped,)
+        assert [entry.key for entry in delta.moves] == [grown]
+        assert delta.change_count == 3 and not delta.is_empty
+        verify_delta_fold(prev, delta, cur)
+
+    def test_ownership_handoff_surfaces_as_a_move(self):
+        partitioner = StructurePartitioner(2)
+        key = _owned_key(partitioner, 0)
+        prev = CrossShardDirectory.publish(
+            {0: [(key, 10)]}, partitioner, version=1)
+        moved = partitioner.with_overrides({key: 1})
+        cur = CrossShardDirectory.publish(
+            {1: [(key, 10)]}, moved, version=2)
+        delta = DirectoryDelta.between(prev, cur)
+        assert [entry.key for entry in delta.moves] == [key]
+        assert delta.moves[0].partition == 1
+        verify_delta_fold(prev, delta, cur)
+
+    def test_fold_divergence_detected(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        full = CrossShardDirectory.publish(
+            {1: [(key, 42)]}, partitioner, version=1)
+        lossy = DirectoryDelta(base_version=0, version=1,
+                               adds=(), removes=(), moves=())
+        with pytest.raises(DistCacheError, match="fold diverged"):
+            verify_delta_fold(CrossShardDirectory.empty(), lossy, full)
+
+    def test_apply_delta_version_and_key_guards(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        prev = CrossShardDirectory.publish(
+            {1: [(key, 42)]}, partitioner, version=1)
+        entry = DirectoryEntry(key=key, partition=1, size_bytes=42)
+        with pytest.raises(DistCacheError, match="version"):
+            prev.apply_delta(DirectoryDelta(
+                base_version=5, version=6, adds=(), removes=(), moves=()))
+        with pytest.raises(DistCacheError, match="already advertised"):
+            prev.apply_delta(DirectoryDelta(
+                base_version=1, version=2, adds=(entry,), removes=(),
+                moves=()))
+        with pytest.raises(DistCacheError, match="not advertised"):
+            prev.apply_delta(DirectoryDelta(
+                base_version=1, version=2, adds=(),
+                removes=("column:t.ghost",), moves=()))
+
+    def test_delta_must_advance_version_by_one(self):
+        with pytest.raises(DistCacheError, match="version"):
+            DirectoryDelta(base_version=1, version=3,
+                           adds=(), removes=(), moves=())
+
+    def test_delta_rejects_double_touched_keys(self, partitioner):
+        key = _owned_key(partitioner, 0)
+        entry = DirectoryEntry(key=key, partition=0, size_bytes=1)
+        with pytest.raises(DistCacheError, match="at most once"):
+            DirectoryDelta(base_version=0, version=1, adds=(entry,),
+                           removes=(key,), moves=())
+
+    def test_empty_delta_is_cheaper_than_any_snapshot(self, partitioner):
+        key = _owned_key(partitioner, 1)
+        full = CrossShardDirectory.publish(
+            {1: [(key, 42)]}, partitioner, version=1)
+        delta = DirectoryDelta.between(
+            full, CrossShardDirectory(full.entries_by_key(), version=2))
+        assert delta.is_empty
+        assert delta.wire_bytes < full.wire_bytes
