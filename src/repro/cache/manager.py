@@ -71,6 +71,11 @@ class CacheManager:
         self._lru: LruTracker[str] = LruTracker()
         self._evictions: List[EvictionRecord] = []
         self._peak_disk_used_bytes = 0
+        self._version = 0
+        # Earliest simulated time at which any entry could fail the idle
+        # check; lets evict_failed_structures skip the scan entirely when
+        # nothing can possibly have expired yet.
+        self._failure_horizon: Optional[float] = None
 
     # -- introspection ------------------------------------------------------------
 
@@ -78,6 +83,16 @@ class CacheManager:
     def config(self) -> CacheConfig:
         """The cache configuration."""
         return self._config
+
+    @property
+    def version(self) -> int:
+        """Counter bumped whenever the set of built structures changes.
+
+        Lets callers memoize derived views (e.g. the cached-column key
+        set the build-cost model consults) without rescanning the cache
+        on every query.
+        """
+        return self._version
 
     @property
     def built_keys(self) -> Set[str]:
@@ -162,6 +177,8 @@ class CacheManager:
         )
         self._entries[structure.key] = entry
         self._lru.touch(structure.key)
+        self._version += 1
+        self._failure_horizon = None
         self._peak_disk_used_bytes = max(self._peak_disk_used_bytes,
                                          self.disk_used_bytes)
         return evicted
@@ -217,6 +234,7 @@ class CacheManager:
         )
         del self._entries[key]
         self._lru.discard(key)
+        self._version += 1
         self._evictions.append(record)
         return record
 
@@ -231,16 +249,29 @@ class CacheManager:
         config = self._config
         if config.max_idle_s is None:
             return []
+        # The horizon is a lower bound on the first time any entry can
+        # fail: usage and eviction only push failure times later, and
+        # admitting a new entry clears it, so skipping the scan before the
+        # horizon cannot change which structures fail or when.
+        if self._failure_horizon is not None and now < self._failure_horizon:
+            return []
         failed: List[EvictionRecord] = []
+        horizon = float("inf")
         for key in list(self._entries):
             entry = self._entries[key]
-            if now - entry.built_at < config.min_residency_s:
-                continue
             limit = config.max_idle_s
             if entry.structure.kind is StructureKind.COLUMN:
                 limit *= config.column_idle_multiplier
+            if now - entry.built_at < config.min_residency_s:
+                horizon = min(horizon,
+                              max(entry.built_at + config.min_residency_s,
+                                  entry.last_used_at + limit))
+                continue
             if entry.idle_time(now) > limit:
                 failed.append(self.evict(key, now, reason="idle_failure"))
+            else:
+                horizon = min(horizon, entry.last_used_at + limit)
+        self._failure_horizon = horizon
         return failed
 
     def _evict_to_fit(self, incoming_bytes: int, now: float) -> List[EvictionRecord]:

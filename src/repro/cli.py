@@ -32,7 +32,10 @@ both exceed 1. ``--placement adaptive`` additionally lets settlement
 barriers hand structure ownership to the partition deriving the most
 priced benefit (hysteresis set by ``--handoff-threshold``), adding a
 placement report section; the default ``--placement hash`` output stays
-byte-identical to earlier releases.
+byte-identical to earlier releases. ``--planning batched`` (figure,
+headline, scenario and tenants commands) switches the economic schemes to
+the vectorized per-template planner — a pure throughput optimisation whose
+tables are byte-identical to the default ``--planning scalar``.
 """
 
 from __future__ import annotations
@@ -50,7 +53,9 @@ from repro.distcache import (
     distcache_placement_table,
     run_partitioned_experiment,
 )
+from repro.economy.engine import PLANNING_MODES, PLANNING_SCALAR, EconomyConfig
 from repro.errors import ReproError
+from repro.policies.economic import EconomicSchemeConfig
 from repro.sharding import ShardImbalanceWarning
 
 from repro.experiments.ablations import (
@@ -155,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                          help="worker processes for the grid cells "
                               "(default: 1, sequential)")
+        sub.add_argument("--planning", choices=PLANNING_MODES,
+                         default=PLANNING_SCALAR,
+                         help="query planning path: 'scalar' plans each query "
+                              "on arrival, 'batched' scores whole per-template "
+                              "batches vectorized; the tables are "
+                              "byte-identical either way (default: scalar)")
 
     ablation = subparsers.add_parser("ablation", help="run one ablation sweep")
     ablation.add_argument("which", choices=sorted(_ABLATIONS))
@@ -182,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="S",
                           help="fire a scheduled structure-failure check every "
                                "S simulated seconds")
+    scenario.add_argument("--planning", choices=PLANNING_MODES,
+                          default=PLANNING_SCALAR,
+                          help="query planning path (scalar or batched; "
+                               "byte-identical outputs, default: scalar)")
 
     tenants = subparsers.add_parser(
         "tenants",
@@ -254,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "challenger partition must out-bid the owner "
                               "by before an adaptive handoff is applied "
                               "(default: 0, any strictly positive margin)")
+    tenants.add_argument("--planning", choices=PLANNING_MODES,
+                         default=PLANNING_SCALAR,
+                         help="query planning path (scalar or batched; "
+                              "byte-identical tables under --shards and "
+                              "--cache-partitions too, default: scalar)")
 
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
@@ -284,7 +304,9 @@ def _scenario_command(args: argparse.Namespace) -> str:
         seed=args.seed,
     )
     system = CloudSystem()
-    scheme = system.scheme(args.scheme)
+    scheme = system.scheme(args.scheme, economic_config=EconomicSchemeConfig(
+        economy=EconomyConfig(planning=args.planning),
+    ))
     simulation = CloudSimulation(scheme, SimulationConfig(
         settlement_period_s=args.settlement_period,
         failure_check_period_s=args.failure_check_period,
@@ -364,6 +386,7 @@ def _tenants_command(args: argparse.Namespace) -> str:
             churn_period=args.churn_period,
             churn_fraction=args.churn_fraction,
             settlement_period_s=args.settlement_period,
+            planning=args.planning,
         )
         for name in names
     ]
@@ -416,8 +439,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command in ("figure4", "figure5", "headline"):
-            output = _figure_command(args.command, _PROFILES[args.profile],
-                                     args.jobs)
+            profile = _PROFILES[args.profile].with_overrides(
+                planning=args.planning
+            )
+            output = _figure_command(args.command, profile, args.jobs)
         elif args.command == "ablation":
             output = _ablation_command(args.which, args.queries)
         elif args.command == "scenario":

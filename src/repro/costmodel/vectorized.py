@@ -1,0 +1,238 @@
+"""Vectorized evaluation of plan tables over query batches.
+
+Scores every plan row of a :class:`~repro.planner.plan_table.PlanTable`
+for a whole batch of instances of its template in one numpy pass: the
+per-instance inputs are the resolved predicate selectivities, everything
+else is a template- or row-level constant carried by the table.
+
+**Bitwise parity contract.** Every array expression here mirrors the
+scalar expression tree of :class:`~repro.costmodel.execution.ExecutionCostModel`
+term for term — same association order, same ``min``/``max``/``rint``
+semantics, element-wise operations only (no ``dot``/``sum`` reductions,
+whose pairwise accumulation would reorder float additions). A value read
+out of a batch (``float(array[j, i])``) is therefore the identical float
+the scalar model computes for that query and plan, which is what lets the
+batched planner promise bit-for-bit identical outcomes.
+
+Constant rows (column scans; index rows whose index serves no predicate)
+are broadcast from the proto plan's estimate, which *is* the scalar
+model's output for the representative instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.catalog.statistics import MIN_SELECTIVITY
+from repro.costmodel.execution import ExecutionCostModel, ExecutionEstimate
+from repro.errors import PlanningError
+from repro.planner.plan import PlanKind
+from repro.planner.plan_table import PlanTable
+from repro.planner.skyline import skyline_indices as _skyline_walk
+from repro.workload.query import Query
+
+#: Field order of :class:`ExecutionEstimate`, shared by the batch arrays.
+ESTIMATE_FIELDS = (
+    "cost_units", "io_operations", "cpu_seconds", "network_bytes",
+    "response_time_s", "cpu_dollars", "io_dollars", "network_dollars",
+)
+
+
+def skyline_filter(times: np.ndarray, costs: np.ndarray,
+                   tolerance: float = 1e-12) -> List[int]:
+    """Vectorized skyline over ``(time, cost)`` arrays; returns positions.
+
+    The ordering is a stable ``numpy.lexsort`` (cost-within-time), the walk
+    is the shared core of :func:`repro.planner.skyline.skyline_indices`, so
+    the selected positions — and their order — match the scalar filter
+    exactly.
+    """
+    order = np.lexsort((costs, times))
+    return _skyline_walk(times, costs, tolerance, order=order.tolist())
+
+
+class BatchPlanEstimates:
+    """Execution estimates of every (plan row, query) pair of one batch.
+
+    Arrays are shaped ``(query_count, row_count)`` so one query's row
+    vector is contiguous; ``execution_dollars`` additionally carries the
+    pre-combined ``Ce`` of each pair.
+    """
+
+    __slots__ = ("table", "query_count", "fields", "execution_dollars")
+
+    def __init__(self, table: PlanTable, query_count: int,
+                 fields: Dict[str, np.ndarray],
+                 execution_dollars: np.ndarray) -> None:
+        self.table = table
+        self.query_count = query_count
+        self.fields = fields
+        self.execution_dollars = execution_dollars
+
+    def times_for(self, column: int) -> List[float]:
+        """Response time of every plan row for query ``column``."""
+        return self.fields["response_time_s"][column].tolist()
+
+    def execution_dollars_for(self, column: int) -> List[float]:
+        """Execution cost ``Ce`` of every plan row for query ``column``."""
+        return self.execution_dollars[column].tolist()
+
+    def value(self, field: str, row: int, column: int) -> float:
+        """One estimate field of one (plan row, query) pair."""
+        return float(self.fields[field][column, row])
+
+    def estimate_for(self, row: int, column: int) -> ExecutionEstimate:
+        """The full :class:`ExecutionEstimate` of one (plan row, query) pair.
+
+        Constant rows return the proto plan's estimate object itself.
+        """
+        plan_row = self.table.rows[row]
+        if plan_row.constant:
+            return plan_row.plan.execution
+        fields = self.fields
+        return ExecutionEstimate(
+            cost_units=float(fields["cost_units"][column, row]),
+            io_operations=float(fields["io_operations"][column, row]),
+            cpu_seconds=float(fields["cpu_seconds"][column, row]),
+            network_bytes=float(fields["network_bytes"][column, row]),
+            response_time_s=float(fields["response_time_s"][column, row]),
+            cpu_dollars=float(fields["cpu_dollars"][column, row]),
+            io_dollars=float(fields["io_dollars"][column, row]),
+            network_dollars=float(fields["network_dollars"][column, row]),
+        )
+
+
+def _conjunction(selectivities: Sequence[np.ndarray],
+                 positions: Sequence[int]) -> np.ndarray:
+    """Element-wise mirror of ``SelectivityEstimator.conjunction_selectivity``.
+
+    The scalar loop starts from ``1.0`` and multiplies sequentially;
+    ``1.0 * s == s`` exactly, so starting from a copy of the first factor
+    and multiplying left to right reproduces every intermediate product.
+    """
+    combined = selectivities[positions[0]].copy()
+    for position in positions[1:]:
+        combined = combined * selectivities[position]
+    np.maximum(MIN_SELECTIVITY, combined, out=combined)
+    return combined
+
+
+def evaluate_plan_table(table: PlanTable, queries: Sequence[Query],
+                        execution_model: ExecutionCostModel
+                        ) -> BatchPlanEstimates:
+    """Score every plan row of ``table`` for every query in one numpy pass."""
+    estimator = execution_model.estimator
+    config = execution_model.config
+    pricing = config.pricing
+    query_count = len(queries)
+    row_count = table.row_count
+    if query_count == 0:
+        raise PlanningError("cannot evaluate a plan table over an empty batch")
+    for query in queries:
+        if (query.template_name != table.template_name
+                or len(query.predicates) != table.predicate_count):
+            raise PlanningError(
+                f"query {query.query_id} does not match plan table "
+                f"{table.template_name!r}"
+            )
+
+    # Per-instance inputs: one selectivity vector per predicate position.
+    selectivities = [
+        np.array([
+            query.predicates[position].resolved_selectivity(estimator)
+            for query in queries
+        ], dtype=np.float64)
+        for position in range(table.predicate_count)
+    ]
+
+    fields = {
+        name: np.empty((query_count, row_count), dtype=np.float64)
+        for name in ESTIMATE_FIELDS
+    }
+    execution_dollars = np.empty((query_count, row_count), dtype=np.float64)
+    cpu_work_rate = config.cpu_load_factor * config.cpu_cost_factor
+
+    for row_index, row in enumerate(table.rows):
+        if row.constant:
+            estimate = row.plan.execution
+            for name in ESTIMATE_FIELDS:
+                fields[name][:, row_index] = getattr(estimate, name)
+            execution_dollars[:, row_index] = estimate.dollars
+            continue
+
+        if row.plan.kind is PlanKind.CACHE_INDEX:
+            # Eq. 8 on the bytes an index-driven plan touches.
+            served = _conjunction(selectivities, row.served_positions)
+            data_fraction = np.minimum(
+                1.0, served * config.index_random_access_penalty
+            )
+            processed = np.minimum(
+                table.full_scan_bytes,
+                row.probe_bytes + data_fraction * table.full_scan_bytes,
+            )
+            cost_units = (
+                table.base_cost_factor * processed
+            ) / config.bytes_per_cost_unit
+            single_node_cpu_s = cpu_work_rate * cost_units
+            cpu_seconds = single_node_cpu_s * row.cpu_overhead
+            response_time = single_node_cpu_s / row.speedup
+            io_operations = (
+                config.io_cost_factor * processed
+            ) / config.io_page_bytes
+            cpu_dollars = cpu_seconds * pricing.cpu_second
+            io_dollars = io_operations * pricing.io_operation
+            fields["cost_units"][:, row_index] = cost_units
+            fields["io_operations"][:, row_index] = io_operations
+            fields["cpu_seconds"][:, row_index] = cpu_seconds
+            fields["network_bytes"][:, row_index] = 0.0
+            fields["response_time_s"][:, row_index] = response_time
+            fields["cpu_dollars"][:, row_index] = cpu_dollars
+            fields["io_dollars"][:, row_index] = io_dollars
+            fields["network_dollars"][:, row_index] = 0.0
+            execution_dollars[:, row_index] = cpu_dollars + io_dollars
+            continue
+
+        # The back-end row: constant cache leg plus the per-instance
+        # result-transfer leg of Eq. 9.
+        base = table.backend_base
+        if table.predicate_count:
+            selectivity = _conjunction(
+                selectivities, tuple(range(table.predicate_count))
+            )
+        else:
+            selectivity = np.ones(query_count, dtype=np.float64)
+        selected_rows = np.maximum(
+            1.0, np.rint(table.fact_row_count * selectivity)
+        )
+        result_rows = np.maximum(
+            1.0, np.rint(selected_rows * table.aggregation_factor)
+        )
+        result_bytes = np.maximum(
+            1.0, result_rows * table.projection_width_bytes
+        )
+        transfer_time = (
+            config.network_latency_s
+            + result_bytes / config.network_throughput_bps
+        )
+        transfer_cpu_s = config.network_cpu_fraction * transfer_time
+        transfer_cpu_dollars = transfer_cpu_s * pricing.cpu_second
+        network_dollars = result_bytes * pricing.network_byte
+        cpu_seconds = base.cpu_seconds + transfer_cpu_s
+        cpu_dollars = base.cpu_dollars + transfer_cpu_dollars
+        fields["cost_units"][:, row_index] = base.cost_units
+        fields["io_operations"][:, row_index] = base.io_operations
+        fields["cpu_seconds"][:, row_index] = cpu_seconds
+        fields["network_bytes"][:, row_index] = result_bytes
+        fields["response_time_s"][:, row_index] = (
+            base.response_time_s + transfer_time
+        )
+        fields["cpu_dollars"][:, row_index] = cpu_dollars
+        fields["io_dollars"][:, row_index] = base.io_dollars
+        fields["network_dollars"][:, row_index] = network_dollars
+        execution_dollars[:, row_index] = (
+            cpu_dollars + base.io_dollars
+        ) + network_dollars
+
+    return BatchPlanEstimates(table, query_count, fields, execution_dollars)

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.costmodel.amortization import AmortizationPolicy
 from repro.costmodel.build import StructureCostModel
+from repro.economy.batch import BatchPricingContext
 from repro.economy.engine import EconomyConfig, EconomyEngine, StructureBuild
 from repro.economy.negotiation import NegotiationResult
 from repro.economy.pricing import PricedPlan
@@ -231,6 +232,76 @@ class PartitionedEconomyEngine(EconomyEngine):
             new_structures=tuple(local_new),
             amortized_by_structure=amortized_by_structure,
         )
+
+    def _adjust_batched_pricing(self, context: BatchPricingContext,
+                                now: float) -> None:
+        """Batched mirror of :meth:`_apply_remote`.
+
+        Rewrites plan-table rows whose missing structures are advertised
+        by the directory: the remote surcharge folds into the row's
+        execution figures and response time, the remote structures drop
+        out of the amortisation sum, and a row whose only missing
+        structures are remote counts as existing — exactly the scalar
+        re-pricing, expression for expression.
+        """
+        cache = self.partitioned_cache
+        if len(cache.directory) == 0:
+            return
+        table = context.table
+        surcharges: List[Optional[Tuple[float, float, float]]] = []
+        any_remote = False
+        for slot, structure in enumerate(table.unique_structures):
+            if context.cached_flags[slot]:
+                surcharges.append(None)
+                continue
+            entry = cache.remote_entry(structure.key)
+            if entry is None:
+                surcharges.append(None)
+                continue
+            surcharges.append(self._remote.surcharge(entry.size_bytes))
+            any_remote = True
+        if not any_remote:
+            return
+        context.remote_surcharges = surcharges
+
+        estimates = context.estimates
+        column = context.column
+        charges = context.charges
+        cached_flags = context.cached_flags
+        for row_index, row in enumerate(table.rows):
+            dollars = seconds = shipped = 0.0
+            has_remote = False
+            has_local_new = False
+            amortized = 0.0
+            for slot in row.structure_indices:
+                if cached_flags[slot]:
+                    amortized += charges[slot]
+                    continue
+                surcharge = surcharges[slot]
+                if surcharge is None:
+                    has_local_new = True
+                    amortized += charges[slot]
+                    continue
+                access_dollars, access_seconds, access_bytes = surcharge
+                dollars += access_dollars
+                seconds += access_seconds
+                shipped += access_bytes
+                has_remote = True
+            if not has_remote:
+                continue
+            cpu_dollars = estimates.value("cpu_dollars", row_index, column)
+            io_dollars = estimates.value("io_dollars", row_index, column)
+            network_dollars = estimates.value(
+                "network_dollars", row_index, column
+            )
+            execution_dollars = (
+                (cpu_dollars + io_dollars) + (network_dollars + dollars)
+            )
+            context.execution_dollars[row_index] = execution_dollars
+            context.amortized[row_index] = amortized
+            context.prices[row_index] = execution_dollars + amortized
+            context.times[row_index] = context.times[row_index] + seconds
+            context.existing[row_index] = not has_local_new
 
     # -- owned-only regret with barrier forwarding -----------------------------
 

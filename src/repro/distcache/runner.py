@@ -61,6 +61,7 @@ from repro.distcache.placement import (
     PlacementPolicy,
 )
 from repro.economy.account import CloudAccount
+from repro.economy.engine import EconomyConfig
 from repro.economy.tenancy import TenantRegistry
 from repro.errors import DistCacheError
 from repro.experiments.tenants import (
@@ -216,6 +217,11 @@ def run_partition_epoch(task: PartitionEpochTask) -> PartitionEpochResult:
     steps: List[SchemeStep] = []
     maintenance: List[Tuple[float, float]] = []
     last_settled_s = task.last_settled_s
+    # Batched planners score the whole epoch slice in one vectorized pass;
+    # scalar schemes ignore the priming (see CachingScheme.prime_workload).
+    scheme.prime_workload(tuple(
+        payload for rank, payload in task.items if rank == _PRIORITY_QUERY
+    ))
 
     def settle(now: float) -> None:
         nonlocal last_settled_s
@@ -348,6 +354,7 @@ class DistCacheRunner:
             schemes.append(system.scheme(
                 config.scheme,
                 economic_config=EconomicSchemeConfig(
+                    economy=EconomyConfig(planning=config.planning),
                     tenants=registry, engine_factory=factory),
             ))
         return schemes

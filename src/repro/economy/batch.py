@@ -1,0 +1,235 @@
+"""Epoch-level batch scheduling for the vectorized planning fast path.
+
+The :class:`BatchScheduler` sits between the simulator and the engine's
+per-query pipeline: :meth:`BatchScheduler.prime` receives the upcoming
+arrivals (once per run, or once per partition epoch in the distributed
+runner) and splits them into **epochs** at settlement boundaries; when the
+engine asks for the first query of an unevaluated epoch, every template's
+batch across as many consecutive epochs as fit in the memory bound is
+scored in one vectorized pass
+(:func:`repro.costmodel.vectorized.evaluate_plan_table`) and the per-query
+results are handed out as the queries arrive.
+
+Only *execution estimates* are precomputed this way — they depend on the
+query instance and the immutable cost model alone, never on cache state,
+so scoring ahead of time is exact. Pricing against the mutable cache
+(amortisation charges, accrued maintenance, what is built) stays strictly
+per-query inside the engine, which is how the batched path keeps outcomes
+bit-for-bit identical to scalar processing.
+
+Evaluated blocks are dropped as soon as their last query is consumed, so
+a scheduler that has drained an epoch holds no numpy arrays — relevant in
+the partitioned runner, where schemes are pickled back to the coordinator
+after every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.costmodel.execution import ExecutionCostModel
+from repro.costmodel.vectorized import BatchPlanEstimates, evaluate_plan_table
+from repro.planner.enumerator import PlanEnumerator
+from repro.planner.plan_table import PlanTable, PlanTableCache
+from repro.workload.query import Query
+
+#: Upper bound on queries evaluated in one vectorized pass when no
+#: settlement period splits the workload (bounds peak array memory).
+DEFAULT_MAX_BATCH_SIZE = 4096
+
+
+@dataclass
+class BatchPricingContext:
+    """Mutable per-query pricing state of the batched planner.
+
+    Built by the engine's batched pricing pass and handed to the
+    remote-adjustment hook (the partitioned engine rewrites rows whose new
+    structures are remotely advertised) before skyline selection and
+    materialisation. All per-row lists are indexed by plan-table row;
+    per-structure lists by the table's unique-structure slot.
+    """
+
+    __slots__ = (
+        "table", "estimates", "column", "times", "execution_dollars",
+        "charges", "cached_flags", "maintenance", "amortized", "prices",
+        "existing", "remote_surcharges",
+    )
+
+    table: PlanTable
+    estimates: BatchPlanEstimates
+    column: int
+    times: List[float]
+    execution_dollars: List[float]
+    charges: List[float]
+    cached_flags: List[bool]
+    maintenance: List[float]
+    amortized: List[float]
+    prices: List[float]
+    existing: List[bool]
+    # Per unique-structure slot: (dollars, seconds, shipped_bytes) for
+    # structures served from a remote partition, else None. None as a whole
+    # means no remote adjustment applies.
+    remote_surcharges: Optional[List[Optional[Tuple[float, float, float]]]]
+
+
+class _TemplateBlock:
+    """One template's evaluated batch within the current epoch."""
+
+    __slots__ = ("table", "estimates")
+
+    def __init__(self, table: PlanTable, estimates: BatchPlanEstimates) -> None:
+        self.table = table
+        self.estimates = estimates
+
+
+class BatchScheduler:
+    """Groups primed arrivals into epochs and evaluates them lazily."""
+
+    def __init__(self, enumerator: PlanEnumerator,
+                 execution_model: ExecutionCostModel,
+                 tables: Optional[PlanTableCache] = None,
+                 max_batch_size: int = DEFAULT_MAX_BATCH_SIZE) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self._enumerator = enumerator
+        self._execution = execution_model
+        self._tables = tables if tables is not None else PlanTableCache()
+        self._max_batch = max_batch_size
+        self._epochs: List[List[Query]] = []
+        self._epoch_of: Dict[int, int] = {}
+        self._window_end = -1
+        self._blocks: Dict[str, _TemplateBlock] = {}
+        self._columns: Dict[int, Tuple[str, int]] = {}
+        self._remaining = 0
+
+    @property
+    def tables(self) -> PlanTableCache:
+        """The plan-table cache (shared across primes and epochs)."""
+        return self._tables
+
+    @property
+    def pending_queries(self) -> int:
+        """Primed queries not yet handed out."""
+        return len(self._epoch_of)
+
+    def prime(self, queries: Sequence[Query],
+              settlement_period_s: Optional[float] = None) -> None:
+        """Register upcoming arrivals, replacing any previous priming.
+
+        Args:
+            queries: the arrivals, in arrival order.
+            settlement_period_s: when set, epoch boundaries follow the
+                simulation's settlement grid (arrivals between consecutive
+                settlement events form one epoch); otherwise the workload
+                is chunked by :data:`DEFAULT_MAX_BATCH_SIZE` alone.
+        """
+        ordered = list(queries)
+        epochs: List[List[Query]] = []
+        if ordered and settlement_period_s:
+            start_s = ordered[0].arrival_time
+            last_slot: Optional[int] = None
+            for query in ordered:
+                slot = int((query.arrival_time - start_s) // settlement_period_s)
+                if slot != last_slot:
+                    epochs.append([])
+                    last_slot = slot
+                epochs[-1].append(query)
+        elif ordered:
+            epochs.append(ordered)
+        # Cap epoch size so one vectorized pass stays memory-bounded.
+        capped: List[List[Query]] = []
+        for epoch in epochs:
+            for offset in range(0, len(epoch), self._max_batch):
+                capped.append(epoch[offset:offset + self._max_batch])
+        self._epochs = capped
+        self._epoch_of = {}
+        for index, epoch in enumerate(capped):
+            for query in epoch:
+                self._epoch_of[query.query_id] = index
+        self._window_end = -1
+        self._blocks = {}
+        self._columns = {}
+        self._remaining = 0
+
+    def view_for(self, query: Query
+                 ) -> Optional[Tuple[PlanTable, BatchPlanEstimates, int]]:
+        """The evaluated batch view of ``query``, or ``None`` to fall back.
+
+        Each primed query is handed out exactly once; asking again (or
+        asking for an unprimed query) returns ``None`` and the engine runs
+        its scalar path, which is outcome-identical by construction.
+        """
+        epoch = self._epoch_of.pop(query.query_id, None)
+        if epoch is None:
+            return None
+        if epoch > self._window_end:
+            self._evaluate_window(epoch)
+        entry = self._columns.pop(query.query_id, None)
+        if entry is None:
+            return None
+        template_name, column = entry
+        block = self._blocks.get(template_name)
+        if block is None:
+            return None
+        self._remaining -= 1
+        if self._remaining <= 0:
+            # Window drained: release the arrays eagerly.
+            self._blocks = {}
+            self._columns = {}
+        return block.table, block.estimates, column
+
+    def clear(self) -> None:
+        """Drop all primed queries and evaluated blocks."""
+        self._epochs = []
+        self._epoch_of = {}
+        self._window_end = -1
+        self._blocks = {}
+        self._columns = {}
+        self._remaining = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _evaluate_window(self, start: int) -> None:
+        # Execution estimates depend on the query instance and the
+        # immutable cost model alone — never on settlement state — so one
+        # vectorized pass may span as many consecutive epochs as fit in
+        # the memory bound. Epochs stay the grouping unit; only the
+        # evaluation is amortized across them.
+        queries: List[Query] = []
+        index = start
+        while index < len(self._epochs):
+            epoch_queries = self._epochs[index]
+            if queries and len(queries) + len(epoch_queries) > self._max_batch:
+                break
+            queries.extend(epoch_queries)
+            self._epochs[index] = []
+            self._window_end = index
+            index += 1
+        groups: Dict[str, List[Query]] = {}
+        for query in queries:
+            groups.setdefault(query.template_name, []).append(query)
+        blocks: Dict[str, _TemplateBlock] = {}
+        columns: Dict[int, Tuple[str, int]] = {}
+        for template_name, group in groups.items():
+            representative = group[0]
+            table = self._tables.table_for(
+                representative, self._enumerator, self._execution
+            )
+            # A template name reused with a different shape cannot be
+            # batched against this table; those queries fall back to the
+            # scalar path (see view_for).
+            usable = [
+                query for query in group
+                if len(query.predicates) == table.predicate_count
+                and query.table_name == representative.table_name
+            ]
+            if not usable:
+                continue
+            estimates = evaluate_plan_table(table, usable, self._execution)
+            blocks[template_name] = _TemplateBlock(table, estimates)
+            for column, query in enumerate(usable):
+                columns[query.query_id] = (template_name, column)
+        self._blocks = blocks
+        self._columns = columns
+        self._remaining = len(columns)

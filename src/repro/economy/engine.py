@@ -20,8 +20,8 @@ different decision procedure entirely — see :mod:`repro.policies`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro import constants
 from repro.cache.manager import CacheConfig, CacheManager
@@ -30,6 +30,7 @@ from repro.costmodel.amortization import AmortizationPolicy, UniformAmortization
 from repro.costmodel.build import StructureCostModel
 from repro.costmodel.execution import ExecutionCostModel
 from repro.economy.account import CloudAccount
+from repro.economy.batch import BatchPricingContext, BatchScheduler
 from repro.economy.budget import BudgetFunction
 from repro.economy.investment import InvestmentPolicy
 from repro.economy.negotiation import (
@@ -45,10 +46,17 @@ from repro.economy.user_model import UserModel
 from repro.errors import ConfigurationError, PlanningError
 from repro.planner.enumerator import PlanEnumerator
 from repro.planner.plan import PlanKind, QueryPlan
-from repro.planner.skyline import skyline_filter
+from repro.planner.plan_table import PlanTable, PlanTableCache
+from repro.planner.skyline import skyline_filter, skyline_indices
 from repro.structures.base import CacheStructure, StructureKind
 from repro.structures.cached_index import CachedIndex
 from repro.workload.query import Query
+
+#: Planning-mode names accepted by :attr:`EconomyConfig.planning` (and the
+#: CLI's ``--planning`` flag).
+PLANNING_SCALAR = "scalar"
+PLANNING_BATCHED = "batched"
+PLANNING_MODES = (PLANNING_SCALAR, PLANNING_BATCHED)
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,11 @@ class EconomyConfig:
         regret_pool_capacity: LRU bound on the number of structures tracked
             by the regret array (Section IV-B).
         user_model: how budget functions are derived for incoming queries.
+        planning: ``"scalar"`` (the default) prices every query through the
+            per-plan pipeline; ``"batched"`` lets a primed engine score
+            whole arrival batches through the vectorized plan-table path
+            (:mod:`repro.economy.batch`), with outcomes bit-for-bit
+            identical to scalar processing.
 
     Example:
         >>> EconomyConfig().regret_fraction == 0.01
@@ -92,6 +105,7 @@ class EconomyConfig:
     max_investments_per_query: int = 8
     regret_pool_capacity: int = 512
     user_model: UserModel = field(default_factory=UserModel)
+    planning: str = PLANNING_SCALAR
 
     def __post_init__(self) -> None:
         if self.amortization_horizon <= 0:
@@ -102,6 +116,10 @@ class EconomyConfig:
             raise ConfigurationError("max_investments_per_query must be non-negative")
         if self.regret_pool_capacity <= 0:
             raise ConfigurationError("regret_pool_capacity must be positive")
+        if self.planning not in PLANNING_MODES:
+            raise ConfigurationError(
+                f"planning must be one of {PLANNING_MODES}, got {self.planning!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -153,6 +171,34 @@ class QueryOutcome:
         return sum(amount for _, amount in self.uncovered_costs)
 
 
+class _TablePricingState:
+    """Cache-version-invariant parts of batched pricing for one plan table.
+
+    Between two cache-content changes, the charge of every *not-yet-built*
+    structure is fixed (its build cost is memoized and it has served zero
+    queries), and therefore so are the existing-plan flags and the full
+    amortized total of any row whose structures are all unbuilt. Only the
+    currently built structures need re-pricing per query (their
+    amortization advances with ``queries_served`` and their maintenance
+    accrues with time), so the hot loop touches exactly those slots.
+    """
+
+    __slots__ = ("table", "version", "charges", "cached_flags", "maintenance",
+                 "cached_slots", "cached_entries", "existing", "row_totals")
+
+    def __init__(self, table, version, charges, cached_flags, maintenance,
+                 cached_slots, cached_entries, existing, row_totals):
+        self.table = table
+        self.version = version
+        self.charges = charges
+        self.cached_flags = cached_flags
+        self.maintenance = maintenance
+        self.cached_slots = cached_slots
+        self.cached_entries = cached_entries
+        self.existing = existing
+        self.row_totals = row_totals
+
+
 class EconomyEngine:
     """Processes queries through the self-tuned economy."""
 
@@ -179,6 +225,17 @@ class EconomyEngine:
         self._tenants = tenants
         self._outcomes: List[QueryOutcome] = []
         self._uncovered: List[Tuple[str, float]] = []
+        # Batched-planning state: populated by prime_queries when the
+        # configured planning mode is "batched"; None keeps every query on
+        # the scalar path.
+        self._batch: Optional[BatchScheduler] = None
+        self._plan_tables: Optional[PlanTableCache] = None
+        self._build_cost_memo: Dict[Tuple[str, Optional[FrozenSet[str]]], float] = {}
+        # Cached-column key set, memoized against the cache version so the
+        # hot loop does not rescan the cache on every query.
+        self._column_keys_memo: FrozenSet[str] = frozenset()
+        self._column_keys_version: int = -1
+        self._pricing_states: Dict[str, _TablePricingState] = {}
 
     # -- accessors -----------------------------------------------------------------
 
@@ -217,7 +274,44 @@ class EconomyEngine:
         """The execution cost model used by the enumerator."""
         return self._structure_costs.execution_model
 
+    @property
+    def plan_tables(self) -> Optional[PlanTableCache]:
+        """The per-template plan-table cache (batched planning only)."""
+        return self._plan_tables
+
     # -- main entry point --------------------------------------------------------------
+
+    def prime_queries(self, queries: Sequence[Query],
+                      settlement_period_s: Optional[float] = None,
+                      plan_tables: Optional[PlanTableCache] = None) -> None:
+        """Announce upcoming arrivals to the batched planner.
+
+        A no-op unless the engine is configured with
+        ``planning="batched"``. Queries not primed (or primed queries
+        arriving twice) simply take the scalar path, whose outcomes are
+        identical by construction.
+
+        Args:
+            queries: the upcoming arrivals, in arrival order.
+            settlement_period_s: the simulation's settlement period, used
+                as the batching epoch grid.
+            plan_tables: optional externally owned plan-table cache (e.g.
+                shared across benchmark repetitions to measure warm-table
+                throughput).
+        """
+        if self._config.planning != PLANNING_BATCHED:
+            return
+        if plan_tables is not None:
+            self._plan_tables = plan_tables
+            self._batch = None
+        if self._plan_tables is None:
+            self._plan_tables = PlanTableCache()
+        if self._batch is None:
+            self._batch = BatchScheduler(
+                self._enumerator, self.execution_model,
+                tables=self._plan_tables,
+            )
+        self._batch.prime(queries, settlement_period_s)
 
     def process_query(self, query: Query,
                       now: Optional[float] = None) -> QueryOutcome:
@@ -231,14 +325,19 @@ class EconomyEngine:
             for record in evictions
         )
 
-        priced = self._price_plans(query, time_s)
-        skyline = skyline_filter(
-            priced,
-            time_of=lambda plan: plan.response_time_s,
-            cost_of=lambda plan: plan.price,
-        )
-        skyline = self._ensure_existing_plan(priced, skyline)
-        budget = self._budget_for(query, priced)
+        batch_view = (self._batch.view_for(query)
+                      if self._batch is not None else None)
+        if batch_view is not None:
+            skyline, budget = self._plan_batched(query, time_s, batch_view)
+        else:
+            priced = self._price_plans(query, time_s)
+            skyline = skyline_filter(
+                priced,
+                time_of=lambda plan: plan.response_time_s,
+                cost_of=lambda plan: plan.price,
+            )
+            skyline = self._ensure_existing_plan(priced, skyline)
+            budget = self._budget_for(query, priced)
         result = negotiate(budget, skyline, self._config.plan_selection)
 
         maintenance_recovered = self._settle_chosen_plan(query, result, time_s)
@@ -300,6 +399,281 @@ class EconomyEngine:
         return self._config.user_model.budget_for(
             query, reference.price, reference.response_time_s
         )
+
+    # -- batched planning --------------------------------------------------------------
+    #
+    # The batched path replaces _price_plans + skyline_filter +
+    # _ensure_existing_plan + _budget_for with array arithmetic over a
+    # per-template plan table, but every float it produces is the output of
+    # the identical scalar expression tree, so negotiation and settlement
+    # downstream see bit-for-bit identical inputs. Pricing against the
+    # mutable cache stays per-query; what moves out of the hot loop is the
+    # per-instance execution estimation (vectorized per epoch) and the
+    # per-plan re-pricing of shared structures (each distinct structure is
+    # priced once per query instead of once per plan).
+
+    def _plan_batched(self, query: Query, now: float,
+                      view: Tuple) -> Tuple[List[PricedPlan], BudgetFunction]:
+        """Price, skyline-filter, and budget one query from its batch view."""
+        table, estimates, column = view
+        times = estimates.times_for(column)
+        execution_dollars = estimates.execution_dollars_for(column)
+        state = self._pricing_state_for(table)
+        amortization = self._pricer.amortization
+
+        # Re-price only the built structures: their amortization advances
+        # with queries_served and their maintenance accrues with time. The
+        # unbuilt slots keep the charges precomputed for this cache version.
+        charges = state.charges
+        maintenance = state.maintenance
+        for position, slot in enumerate(state.cached_slots):
+            entry = state.cached_entries[position]
+            charge = amortization.charge(entry.build_cost,
+                                         entry.queries_served)
+            charges[slot] = min(charge, entry.unrecovered_build_cost())
+            maintenance[slot] = entry.accrued_maintenance(now)
+
+        amortized: List[float] = []
+        prices: List[float] = []
+        rows = table.rows
+        row_totals = state.row_totals
+        for row_index in range(table.row_count):
+            total = row_totals[row_index]
+            if total is None:
+                # Accumulate in plan-structure order — the scalar pricer's
+                # addition order — so the float sums match bitwise.
+                total = 0.0
+                for slot in rows[row_index].structure_indices:
+                    total += charges[slot]
+            amortized.append(total)
+            prices.append(execution_dollars[row_index] + total)
+
+        context = BatchPricingContext(
+            table=table, estimates=estimates, column=column, times=times,
+            execution_dollars=execution_dollars, charges=charges,
+            cached_flags=state.cached_flags, maintenance=maintenance,
+            amortized=amortized, prices=prices, existing=list(state.existing),
+            remote_surcharges=None,
+        )
+        self._adjust_batched_pricing(context, now)
+
+        selected = skyline_indices(context.times, context.prices)
+        if not any(context.existing[row_index] for row_index in selected):
+            # _ensure_existing_plan: re-add the cheapest existing plan
+            # (first strict minimum, matching min()'s tie-breaking).
+            cheapest: Optional[int] = None
+            cheapest_price = float("inf")
+            for row_index in range(table.row_count):
+                if (context.existing[row_index]
+                        and context.prices[row_index] < cheapest_price):
+                    cheapest = row_index
+                    cheapest_price = context.prices[row_index]
+            if cheapest is not None:
+                selected = selected + [cheapest]
+
+        skyline = [self._materialize_row(query, context, row_index, now)
+                   for row_index in selected]
+        budget = self._batched_budget(query, context)
+        return skyline, budget
+
+    def _pricing_state_for(self, table: PlanTable) -> _TablePricingState:
+        """The cache-version-invariant pricing state of one plan table.
+
+        Rebuilt whenever the cache contents change (tracked through
+        :attr:`CacheManager.version`) or the template's plan table was
+        regenerated; otherwise reused as-is across the queries in between.
+        """
+        state = self._pricing_states.get(table.template_name)
+        version = self._cache.version
+        if (state is not None and state.table is table
+                and state.version == version):
+            return state
+
+        cache = self._cache
+        amortization = self._pricer.amortization
+        cached_column_keys = self._cached_column_keys()
+        charges: List[float] = []
+        cached_flags: List[bool] = []
+        maintenance: List[float] = []
+        cached_slots: List[int] = []
+        cached_entries: List[object] = []
+        for slot, structure in enumerate(table.unique_structures):
+            if cache.contains(structure.key):
+                cached_flags.append(True)
+                cached_slots.append(slot)
+                cached_entries.append(cache.entry(structure.key))
+                charges.append(0.0)      # overwritten on every query
+                maintenance.append(0.0)  # overwritten on every query
+            else:
+                build_cost = self._memoized_build_cost(
+                    structure, cached_column_keys
+                )
+                charges.append(amortization.charge(build_cost, 0))
+                cached_flags.append(False)
+                maintenance.append(0.0)
+
+        existing: List[bool] = []
+        row_totals: List[Optional[float]] = []
+        for row in table.rows:
+            row_existing = True
+            has_cached = False
+            for slot in row.structure_indices:
+                if cached_flags[slot]:
+                    has_cached = True
+                else:
+                    row_existing = False
+            existing.append(row_existing)
+            if has_cached:
+                # The row mixes built structures in; its total changes per
+                # query and is accumulated in the hot loop.
+                row_totals.append(None)
+            else:
+                # All-unbuilt row: its amortized total is fixed until the
+                # cache changes. Same accumulation order as the hot loop.
+                total = 0.0
+                for slot in row.structure_indices:
+                    total += charges[slot]
+                row_totals.append(total)
+
+        state = _TablePricingState(
+            table=table, version=version, charges=charges,
+            cached_flags=cached_flags, maintenance=maintenance,
+            cached_slots=cached_slots, cached_entries=cached_entries,
+            existing=existing, row_totals=row_totals,
+        )
+        self._pricing_states[table.template_name] = state
+        return state
+
+    def _adjust_batched_pricing(self, context: BatchPricingContext,
+                                now: float) -> None:
+        """Hook: rewrite the batch pricing context before skyline selection.
+
+        The base engine prices purely against its own cache and adjusts
+        nothing; the partitioned engine (:mod:`repro.distcache`) overrides
+        this to fold remote-access surcharges into rows whose missing
+        structures are advertised by the directory, mirroring its scalar
+        ``_apply_remote`` re-pricing.
+        """
+
+    def _batched_budget(self, query: Query,
+                        context: BatchPricingContext) -> BudgetFunction:
+        """Mirror of :meth:`_budget_for` over the batch pricing context."""
+        table = context.table
+        if table.backend_row is not None:
+            reference = table.backend_row
+        else:
+            reference = 0
+            best_price = float("inf")
+            for row_index in range(table.row_count):
+                if (context.existing[row_index]
+                        and context.prices[row_index] < best_price):
+                    reference = row_index
+                    best_price = context.prices[row_index]
+        price = context.prices[reference]
+        response_time = context.times[reference]
+        if self._tenants is not None:
+            return self._tenants.budget_for(
+                query, price, response_time,
+                default_model=self._config.user_model,
+            )
+        return self._config.user_model.budget_for(query, price, response_time)
+
+    def _materialize_row(self, query: Query, context: BatchPricingContext,
+                         row_index: int, now: float) -> PricedPlan:
+        """Instantiate one plan-table row as the scalar pipeline's PricedPlan."""
+        table = context.table
+        row = table.rows[row_index]
+        charges = context.charges
+        cached_flags = context.cached_flags
+        maintenance = context.maintenance
+        surcharges = context.remote_surcharges
+
+        amortized_by_structure: Dict[str, float] = {}
+        new_structures: List[CacheStructure] = []
+        maintenance_total = 0.0
+        remote_dollars = 0.0
+        remote_seconds = 0.0
+        remote_shipped = 0.0
+        has_remote = False
+        for slot, structure in zip(row.structure_indices,
+                                   row.plan.structures):
+            if cached_flags[slot]:
+                amortized_by_structure[structure.key] = charges[slot]
+                maintenance_total += maintenance[slot]
+                continue
+            surcharge = surcharges[slot] if surcharges is not None else None
+            if surcharge is not None:
+                # Remote access: no build, no amortisation entry — the
+                # surcharge folds into the execution estimate below.
+                dollars, seconds, shipped = surcharge
+                remote_dollars += dollars
+                remote_seconds += seconds
+                remote_shipped += shipped
+                has_remote = True
+                continue
+            new_structures.append(structure)
+            amortized_by_structure[structure.key] = charges[slot]
+
+        if row.constant:
+            execution = row.plan.execution
+        else:
+            execution = context.estimates.estimate_for(row_index,
+                                                       context.column)
+        if has_remote:
+            execution = replace(
+                execution,
+                network_bytes=execution.network_bytes + remote_shipped,
+                network_dollars=execution.network_dollars + remote_dollars,
+                response_time_s=execution.response_time_s + remote_seconds,
+            )
+        # Direct construction instead of dataclasses.replace(): this runs
+        # for every skyline row of every query.
+        proto = row.plan
+        plan = QueryPlan(
+            query=query, kind=proto.kind, execution=execution,
+            structures=proto.structures, index=proto.index,
+            node_count=proto.node_count,
+        )
+
+        return PricedPlan(
+            plan=plan,
+            execution_dollars=context.execution_dollars[row_index],
+            amortized_dollars=context.amortized[row_index],
+            maintenance_dollars=maintenance_total,
+            new_structures=tuple(new_structures),
+            amortized_by_structure=amortized_by_structure,
+        )
+
+    def _memoized_build_cost(self, structure: CacheStructure,
+                             available_columns: Set[str]) -> float:
+        """Build-cost estimate, memoized while batched planning is active.
+
+        A build cost depends only on the structure and — for an index —
+        on which of its key columns must still be transferred, so the memo
+        key is ``(structure key, frozenset of missing column keys)``. The
+        scalar path keeps calling the cost model directly.
+        """
+        if self._batch is None:
+            return self._structure_costs.build_cost(
+                structure, cached_columns=available_columns
+            )
+        if isinstance(structure, CachedIndex):
+            missing = frozenset(
+                column.key for column in structure.required_columns()
+                if column.key not in available_columns
+            )
+            memo_key: Tuple[str, Optional[FrozenSet[str]]] = (
+                structure.key, missing
+            )
+        else:
+            memo_key = (structure.key, None)
+        cost = self._build_cost_memo.get(memo_key)
+        if cost is None:
+            cost = self._structure_costs.build_cost(
+                structure, cached_columns=available_columns
+            )
+            self._build_cost_memo[memo_key] = cost
+        return cost
 
     def _settle_chosen_plan(self, query: Query, result: NegotiationResult,
                             now: float) -> float:
@@ -373,19 +747,34 @@ class EconomyEngine:
             total_spend += sum(record.build_cost for record in built)
         return tuple(builds), total_spend
 
+    def _cached_column_keys(self) -> FrozenSet[str]:
+        """Keys of the cached columns in the local cache (memoized).
+
+        The memo is keyed on :attr:`CacheManager.version`, so it refreshes
+        exactly when the set of built structures changes.
+        """
+        version = self._cache.version
+        if self._column_keys_version != version:
+            self._column_keys_memo = frozenset(
+                key for key in self._cache.built_keys
+                if key.startswith("column:")
+            )
+            self._column_keys_version = version
+        return self._column_keys_memo
+
     def _available_column_keys(self) -> Set[str]:
         """Column keys a build may read instead of re-extracting.
 
         The base engine only has its own cache; partitioned engines
         (:mod:`repro.distcache`) override this to add columns that exist
         on a remote partition, which a build can read over the network.
+        Returns a fresh mutable set: callers extend it while planning
+        multi-column index builds.
         """
-        return {
-            key for key in self._cache.built_keys if key.startswith("column:")
-        }
+        return set(self._cached_column_keys())
 
     def _estimate_build_cost(self, structure: CacheStructure) -> float:
-        return self._structure_costs.build_cost(
+        return self._memoized_build_cost(
             structure, self._available_column_keys()
         )
 

@@ -138,9 +138,20 @@ class InvestmentPolicy:
         Returns decisions with ``should_build`` true, sorted by descending
         regret so the most-regretted structure is built first.
         """
+        credit = account.credit
+        if credit < self._minimum_credit:
+            # invest_score is 0 for every structure: nothing can qualify.
+            return []
+        # Filter on the invest-score threshold before sorting: most
+        # structures miss it on most queries, and a stable sort of the
+        # qualifying few yields the same descending-regret order ranked()
+        # would have produced.
+        qualifying = [(key, regret) for key, regret in tracker.items()
+                      if self.invest_score(regret, credit) >= 1]
+        qualifying.sort(key=lambda item: -item[1])
         built = set(built_keys)
         decisions: List[InvestmentDecision] = []
-        for key, regret in tracker.ranked():
+        for key, regret in qualifying:
             if key in built:
                 continue
             structure = tracker.structure(key)

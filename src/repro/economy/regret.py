@@ -111,6 +111,10 @@ class RegretTracker:
         """Keys currently in the pool, least recently touched first."""
         return self._lru.in_lru_order()
 
+    def items(self):
+        """(key, regret) pairs in insertion order, unsorted."""
+        return self._values.items()
+
     def ranked(self) -> List[Tuple[str, float]]:
         """(key, regret) pairs sorted by descending regret."""
         return sorted(self._values.items(), key=lambda item: -item[1])

@@ -16,8 +16,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.costmodel.config import CostModelConfig
+from repro.economy.engine import EconomyConfig
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentProfile
+from repro.policies.economic import EconomicSchemeConfig
 from repro.simulator.metrics import MetricsSummary
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem, CloudSystemConfig
@@ -95,7 +97,9 @@ def run_cell(system: CloudSystem, profile: ExperimentProfile, scheme_name: str,
         seed=profile.seed,
     )
     workload = WorkloadGenerator(spec.with_interarrival(interarrival_s)).generate()
-    scheme = system.scheme(scheme_name)
+    scheme = system.scheme(scheme_name, economic_config=EconomicSchemeConfig(
+        economy=EconomyConfig(planning=profile.planning),
+    ))
     simulation = CloudSimulation(
         scheme, SimulationConfig(warmup_queries=profile.warmup_queries)
     )

@@ -24,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.economy.engine import EconomyConfig, PLANNING_MODES, PLANNING_SCALAR
 from repro.economy.tenancy import TenantRegistry
 from repro.errors import ExperimentError
 from repro.experiments.reporting import distribution_cells, format_table
@@ -59,6 +60,7 @@ class TenantExperimentConfig:
     churn_fraction: float = 0.1
     warmup_queries: int = 0
     settlement_period_s: Optional[float] = None
+    planning: str = PLANNING_SCALAR
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEME_NAMES:
@@ -70,6 +72,11 @@ class TenantExperimentConfig:
             raise ExperimentError("query_count must be positive")
         if self.settlement_period_s is not None and self.settlement_period_s <= 0:
             raise ExperimentError("settlement_period_s must be positive")
+        if self.planning not in PLANNING_MODES:
+            raise ExperimentError(
+                f"planning must be one of {PLANNING_MODES}, "
+                f"got {self.planning!r}"
+            )
 
     def population_spec(self) -> PopulationSpec:
         """The population half of the configuration."""
@@ -131,7 +138,10 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
         registry = TenantRegistry()
         registry.register_all(populated.profiles)
         scheme = system.scheme(
-            config.scheme, economic_config=EconomicSchemeConfig(tenants=registry)
+            config.scheme, economic_config=EconomicSchemeConfig(
+                economy=EconomyConfig(planning=config.planning),
+                tenants=registry,
+            )
         )
     simulation = CloudSimulation(
         scheme, SimulationConfig(

@@ -68,13 +68,41 @@ class PlanEnumerator:
         # cache-resident plan needs and which candidate indexes are relevant
         # depend only on the template (instances vary in selectivities, not
         # in the columns they touch), yet were recomputed for every query.
+        # The memos are keyed by bare template name: a caller that reuses a
+        # template name against a different catalog or candidate pool must
+        # call :meth:`invalidate` or the stale entry wins.
         self._columns_by_template: dict = {}
         self._indexes_by_template: dict = {}
+        self._generation = 0
 
     @property
     def config(self) -> EnumeratorConfig:
         """The enumeration capabilities."""
         return self._config
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every :meth:`invalidate` call.
+
+        Derived caches (e.g. the per-template plan tables of
+        :mod:`repro.planner.plan_table`) record the generation they were
+        built against and rebuild when it moves, so one invalidation
+        propagates through every layer keyed on this enumerator.
+        """
+        return self._generation
+
+    def invalidate(self) -> int:
+        """Drop the per-template memos and bump :attr:`generation`.
+
+        Call after swapping the catalog, statistics, or candidate-index
+        pool under a live enumerator — most commonly when a new schema
+        reuses template names whose column sets changed. Returns the new
+        generation so callers can stamp their own derived state.
+        """
+        self._columns_by_template.clear()
+        self._indexes_by_template.clear()
+        self._generation += 1
+        return self._generation
 
     @property
     def candidate_indexes(self) -> Tuple[CachedIndex, ...]:

@@ -6,13 +6,60 @@ with the same execution time, only the cheapest one is encompassed in PQ."
 
 A plan is dominated if another plan is at least as fast *and* at least as
 cheap (and strictly better in one of the two dimensions).
+
+The walk over the time-ordered candidates lives in :func:`skyline_indices`,
+which operates on pre-extracted ``(times, costs)`` sequences and returns the
+selected *positions*. :func:`skyline_filter` decorates once (a single
+``time_of``/``cost_of`` call per plan instead of one per comparison) and
+:mod:`repro.costmodel.vectorized` reuses the same walk over numpy-ordered
+arrays, so the scalar and batched planners share one skyline definition.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 PlanT = TypeVar("PlanT")
+
+
+def skyline_indices(times: Sequence[float], costs: Sequence[float],
+                    tolerance: float = 1e-12,
+                    order: Optional[Sequence[int]] = None) -> List[int]:
+    """Positions of the non-dominated ``(time, cost)`` points, time-ascending.
+
+    Args:
+        times: execution time per candidate.
+        costs: overall cost per candidate.
+        tolerance: two values closer than this are considered equal, so that
+            floating-point noise does not create spurious skyline points.
+        order: optional pre-computed stable ordering of the candidate
+            positions by ``(time, cost)`` (e.g. from ``numpy.lexsort``);
+            computed here when omitted.
+    """
+    count = len(times)
+    if count == 0:
+        return []
+    if order is None:
+        # Decorate-sort: position as the last tuple element makes the sort
+        # a stable (time, cost) ordering with C-level tuple comparisons.
+        order = [decorated[2]
+                 for decorated in sorted(zip(times, costs, range(count)))]
+    skyline: List[int] = []
+    best_cost = float("inf")
+    for position in order:
+        point_time = times[position]
+        point_cost = costs[position]
+        if skyline and abs(point_time - times[skyline[-1]]) <= tolerance:
+            # Same execution time as the previous skyline point: footnote 2
+            # keeps only the cheapest of the two.
+            if point_cost < costs[skyline[-1]]:
+                skyline[-1] = position
+                best_cost = min(best_cost, point_cost)
+            continue
+        if point_cost < best_cost - tolerance:
+            skyline.append(position)
+            best_cost = point_cost
+    return skyline
 
 
 def skyline_filter(plans: Sequence[PlanT],
@@ -30,20 +77,6 @@ def skyline_filter(plans: Sequence[PlanT],
     """
     if not plans:
         return []
-    ordered = sorted(plans, key=lambda plan: (time_of(plan), cost_of(plan)))
-    skyline: List[PlanT] = []
-    best_cost = float("inf")
-    for plan in ordered:
-        plan_time = time_of(plan)
-        plan_cost = cost_of(plan)
-        if skyline and abs(plan_time - time_of(skyline[-1])) <= tolerance:
-            # Same execution time as the previous skyline plan: footnote 2
-            # keeps only the cheapest of the two.
-            if plan_cost < cost_of(skyline[-1]):
-                skyline[-1] = plan
-                best_cost = min(best_cost, plan_cost)
-            continue
-        if plan_cost < best_cost - tolerance:
-            skyline.append(plan)
-            best_cost = plan_cost
-    return skyline
+    times = [time_of(plan) for plan in plans]
+    costs = [cost_of(plan) for plan in plans]
+    return [plans[i] for i in skyline_indices(times, costs, tolerance)]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.cache.manager import CacheManager
 from repro.workload.query import Query
@@ -71,6 +71,15 @@ class CachingScheme(abc.ABC):
     @abc.abstractmethod
     def process(self, query: Query) -> SchemeStep:
         """Serve one query and report its step record."""
+
+    def prime_workload(self, queries: Sequence[Query],
+                       settlement_period_s: Optional[float] = None) -> None:
+        """Announce the upcoming arrivals before the run starts.
+
+        Purely advisory: schemes with a batched planner use it to evaluate
+        whole epochs vectorized; the default (and every scalar scheme)
+        ignores it. Outcomes must not depend on whether priming happened.
+        """
 
     @property
     def tenant_registry(self):

@@ -115,6 +115,10 @@ class EconomicScheme(CachingScheme):
         outcome = self._engine.process_query(query)
         return _step_from_outcome(outcome)
 
+    def prime_workload(self, queries: Sequence[Query],
+                       settlement_period_s: Optional[float] = None) -> None:
+        self._engine.prime_queries(queries, settlement_period_s)
+
 
 def _step_from_outcome(outcome: QueryOutcome) -> SchemeStep:
     """Translate an economy outcome into the scheme-level step record."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.economy.account import CloudAccount
+from repro.economy.engine import EconomyConfig
 from repro.errors import ShardingError
 from repro.experiments.tenants import (
     TenantExperimentConfig,
@@ -151,7 +152,10 @@ class ShardWorker:
                 populated.profiles, self._partitioner, task.shard_index)
             scheme = system.scheme(
                 config.scheme,
-                economic_config=EconomicSchemeConfig(tenants=registry),
+                economic_config=EconomicSchemeConfig(
+                    economy=EconomyConfig(planning=config.planning),
+                    tenants=registry,
+                ),
             )
             recorder = SettlementCheckpointRecorder(
                 registry, scheme.engine.account)

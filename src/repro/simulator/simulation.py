@@ -113,6 +113,12 @@ def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
     end_s = last_arrival_s + (trailing_s if config.trailing_settlement else 0.0)
 
     kernel = SimulationKernel(start_time_s=start_s)
+    # Batched planners evaluate whole settlement epochs vectorized; scalar
+    # schemes ignore the priming (see CachingScheme.prime_workload).
+    for scheme in schemes:
+        scheme.prime_workload(
+            query_list, settlement_period_s=config.settlement_period_s
+        )
     tenants: List[SchemeTenant] = []
     for scheme in schemes:
         tenant = SchemeTenant(

@@ -19,6 +19,9 @@ class CachedColumn(CacheStructure):
     def __init__(self, table_name: str, column_name: str) -> None:
         self._table_name = table_name
         self._column_name = column_name
+        # Key strings are read on every pricing pass; build them once.
+        self._qualified_name = f"{table_name}.{column_name}"
+        self._key = f"column:{self._qualified_name}"
 
     @property
     def table_name(self) -> str:
@@ -33,7 +36,7 @@ class CachedColumn(CacheStructure):
     @property
     def qualified_name(self) -> str:
         """``table.column`` form used in logs and reports."""
-        return f"{self._table_name}.{self._column_name}"
+        return self._qualified_name
 
     @property
     def kind(self) -> StructureKind:
@@ -41,7 +44,7 @@ class CachedColumn(CacheStructure):
 
     @property
     def key(self) -> str:
-        return f"column:{self.qualified_name}"
+        return self._key
 
     def size_bytes(self, schema: Schema) -> int:
         """On-disk size of the cached column (validates the names)."""

@@ -9,7 +9,7 @@ assumes static back-end data.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.catalog.schema import Index, Schema
 from repro.errors import ConfigurationError
@@ -31,6 +31,11 @@ class CachedIndex(CacheStructure):
         self._table_name = table_name
         self._column_names = tuple(column_names)
         self._pointer_bytes = pointer_bytes
+        # Key strings and required-column tuples are read on every pricing
+        # pass; build them once.
+        columns = ",".join(self._column_names)
+        self._key = f"index:{table_name}({columns})"
+        self._required_columns: Optional[Tuple[CachedColumn, ...]] = None
 
     @classmethod
     def from_definition(cls, definition: Index) -> "CachedIndex":
@@ -62,8 +67,7 @@ class CachedIndex(CacheStructure):
 
     @property
     def key(self) -> str:
-        columns = ",".join(self._column_names)
-        return f"index:{self._table_name}({columns})"
+        return self._key
 
     def size_bytes(self, schema: Schema) -> int:
         """Key width plus a per-row pointer, times the table's row count."""
@@ -75,9 +79,12 @@ class CachedIndex(CacheStructure):
 
     def required_columns(self) -> Tuple[CachedColumn, ...]:
         """The cached-column structures the index build needs in the cache."""
-        return tuple(
-            CachedColumn(self._table_name, name) for name in self._column_names
-        )
+        if self._required_columns is None:
+            self._required_columns = tuple(
+                CachedColumn(self._table_name, name)
+                for name in self._column_names
+            )
+        return self._required_columns
 
     def serves_predicate_on(self, table_name: str, column_name: str) -> bool:
         """Whether the index can accelerate a predicate on ``table.column``.

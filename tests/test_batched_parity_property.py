@@ -1,0 +1,144 @@
+"""Property-based parity sweep: batched planning is bitwise scalar-equal.
+
+Hypothesis draws workload shapes (template mix via seed, batch sizes,
+inter-arrival times), enumerator configurations, and settlement grids;
+for each draw the batched engine's outcome stream, account ledger, and
+regret totals must equal the scalar engine's exactly — ``==`` on floats,
+no tolerances. Separate properties cover the tenant-sharded and
+cache-partitioned execution modes end to end.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.economy.engine import EconomyConfig, EconomyEngine
+from repro.errors import PlanningError
+from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
+from repro.structures.cached_index import CachedIndex
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+CANDIDATES = (
+    CachedIndex("lineitem", ("l_shipdate",)),
+    CachedIndex("lineitem", ("l_shipmode",)),
+    CachedIndex("lineitem", ("l_quantity", "l_shipmode")),
+    CachedIndex("lineitem", ("l_orderkey",)),
+)
+
+enumerator_configs = st.builds(
+    EnumeratorConfig,
+    allow_index_plans=st.booleans(),
+    max_extra_nodes=st.integers(min_value=0, max_value=3),
+    allow_backend_plan=st.booleans(),
+    max_candidate_indexes_per_query=st.integers(min_value=1, max_value=4),
+)
+
+
+def run_pair(execution_model, structure_costs, enum_config, queries,
+             settlement_period_s):
+    """Run the same stream through a scalar and a batched engine."""
+
+    def make(planning):
+        return EconomyEngine(
+            enumerator=PlanEnumerator(execution_model,
+                                      candidate_indexes=CANDIDATES,
+                                      config=enum_config),
+            structure_costs=structure_costs,
+            cache=CacheManager(CacheConfig()),
+            config=EconomyConfig(planning=planning),
+        )
+
+    scalar = make("scalar")
+    batched = make("batched")
+    batched.prime_queries(queries, settlement_period_s=settlement_period_s)
+    for query in queries:
+        # Some drawn configurations legitimately fail (e.g. no backend
+        # plan over an empty cache leaves nothing existing to negotiate);
+        # parity then means both paths fail identically.
+        outcome = error = None
+        try:
+            outcome = scalar.process_query(query)
+        except PlanningError as exc:
+            error = str(exc)
+        try:
+            batched_outcome = batched.process_query(query)
+        except PlanningError as exc:
+            assert error == str(exc)
+        else:
+            assert error is None
+            assert outcome == batched_outcome, (
+                f"outcome diverged at query {query.query_id}"
+            )
+    assert scalar.account.transactions == batched.account.transactions
+    assert scalar.regret_tracker.ranked() == batched.regret_tracker.ranked()
+    assert scalar.cache.built_keys == batched.cache.built_keys
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    query_count=st.integers(min_value=1, max_value=60),
+    interarrival_s=st.sampled_from([0.5, 1.0, 5.0, 30.0]),
+    enum_config=enumerator_configs,
+    settlement_period_s=st.sampled_from([None, 10.0, 60.0]),
+)
+def test_engine_stream_ledger_and_regret_bitwise_equal(
+        execution_model, structure_costs, seed, query_count, interarrival_s,
+        enum_config, settlement_period_s):
+    queries = WorkloadGenerator(WorkloadSpec(
+        query_count=query_count, interarrival_s=interarrival_s, seed=seed,
+    )).generate()
+    run_pair(execution_model, structure_costs, enum_config, queries,
+             settlement_period_s)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=255),
+    shards=st.integers(min_value=2, max_value=4),
+)
+def test_sharded_cells_bitwise_equal(seed, shards):
+    from repro.experiments.tenants import TenantExperimentConfig
+    from repro.sharding.coordinator import ShardCoordinator
+
+    def cell(planning):
+        config = TenantExperimentConfig(
+            scheme="econ-cheap", tenant_count=12, query_count=40,
+            interarrival_s=1.0, seed=seed, settlement_period_s=15.0,
+            planning=planning)
+        return ShardCoordinator(shard_count=shards).run_cell(config).cell
+
+    scalar, batched = cell("scalar"), cell("batched")
+    assert scalar.summary == batched.summary
+    assert scalar.tenants == batched.tenants
+    assert scalar.wallet_credit == batched.wallet_credit
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=255),
+    partitions=st.integers(min_value=2, max_value=3),
+)
+def test_partitioned_cells_bitwise_equal(seed, partitions):
+    from repro.distcache import run_partitioned_cell
+    from repro.experiments.tenants import TenantExperimentConfig
+
+    def cell(planning):
+        config = TenantExperimentConfig(
+            scheme="econ-cheap", tenant_count=12, query_count=40,
+            interarrival_s=1.0, seed=seed, settlement_period_s=15.0,
+            planning=planning)
+        return run_partitioned_cell(config, partitions=partitions,
+                                    compare_baseline=False)
+
+    scalar, batched = cell("scalar"), cell("batched")
+    assert scalar.cell.summary == batched.cell.summary
+    assert scalar.cell.tenants == batched.cell.tenants
+    assert scalar.cell.wallet_credit == batched.cell.wallet_credit
+    assert scalar.checkpoints == batched.checkpoints
+    assert scalar.partitions == batched.partitions

@@ -1,0 +1,125 @@
+"""Bitwise-parity tests of the vectorized batch evaluator.
+
+The contract under test is strict: every float the batch pass produces
+must equal — ``==``, not ``pytest.approx`` — the float the scalar
+execution model computes for the same (query, plan) pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.vectorized import (
+    ESTIMATE_FIELDS,
+    evaluate_plan_table,
+    skyline_filter,
+)
+from repro.errors import PlanningError
+from repro.planner.enumerator import PlanEnumerator
+from repro.planner.plan_table import build_plan_table
+from repro.planner.skyline import skyline_indices
+from repro.structures.cached_index import CachedIndex
+from repro.workload.templates import template_by_name
+
+
+@pytest.fixture
+def enumerator(execution_model):
+    return PlanEnumerator(
+        execution_model,
+        candidate_indexes=(
+            CachedIndex("lineitem", ("l_shipdate",)),
+            CachedIndex("lineitem", ("l_quantity", "l_shipmode")),
+        ),
+    )
+
+
+def instance_batch(template_name, count, seed=0):
+    template = template_by_name(template_name)
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        query = template.instantiate(query_id=index,
+                                     arrival_time=float(index))
+        # Perturb the resolved selectivities through fresh predicate
+        # objects so instances genuinely differ.
+        predicates = tuple(
+            type(p)(p.table_name, p.column_name, p.kind,
+                    min(1.0, max(1e-6, p.selectivity * rng.uniform(0.2, 1.8)))
+                    if p.selectivity is not None else None)
+            for p in query.predicates
+        )
+        queries.append(type(query)(
+            query_id=query.query_id, template_name=query.template_name,
+            table_name=query.table_name, predicates=predicates,
+            projection_columns=query.projection_columns,
+            aggregation_factor=query.aggregation_factor,
+            arrival_time=query.arrival_time,
+            parallel_fraction=query.parallel_fraction,
+            base_cost_factor=query.base_cost_factor,
+            budget_scale=query.budget_scale,
+            tenant_id=query.tenant_id,
+        ))
+    return queries
+
+
+@pytest.mark.parametrize("template_name", [
+    "q6_forecast_revenue", "q14_promotion_effect", "q1_pricing_summary",
+])
+def test_batch_estimates_bitwise_equal_scalar(template_name, enumerator,
+                                              execution_model):
+    queries = instance_batch(template_name, count=17, seed=3)
+    table = build_plan_table(queries[0], enumerator, execution_model)
+    estimates = evaluate_plan_table(table, queries, execution_model)
+
+    for column, query in enumerate(queries):
+        scalar_plans = enumerator.enumerate(query)
+        assert len(scalar_plans) == table.row_count
+        for row, plan in enumerate(scalar_plans):
+            scalar = plan.execution
+            for name in ESTIMATE_FIELDS:
+                assert estimates.value(name, row, column) == getattr(
+                    scalar, name
+                ), (template_name, query.query_id, plan.label, name)
+            assert (estimates.execution_dollars_for(column)[row]
+                    == scalar.dollars)
+            batch_estimate = estimates.estimate_for(row, column)
+            assert batch_estimate == scalar
+
+
+def test_constant_rows_share_proto_estimate(enumerator, execution_model):
+    queries = instance_batch("q6_forecast_revenue", count=4)
+    table = build_plan_table(queries[0], enumerator, execution_model)
+    estimates = evaluate_plan_table(table, queries, execution_model)
+    for row_index, row in enumerate(table.rows):
+        if row.constant:
+            assert estimates.estimate_for(row_index, 2) is row.plan.execution
+
+
+def test_mismatched_query_rejected(enumerator, execution_model):
+    queries = instance_batch("q6_forecast_revenue", count=2)
+    table = build_plan_table(queries[0], enumerator, execution_model)
+    stranger = template_by_name("q1_pricing_summary").instantiate(
+        query_id=99, arrival_time=0.0
+    )
+    with pytest.raises(PlanningError):
+        evaluate_plan_table(table, [stranger], execution_model)
+    with pytest.raises(PlanningError):
+        evaluate_plan_table(table, [], execution_model)
+
+
+class TestVectorizedSkyline:
+    def test_matches_scalar_selection_and_order(self):
+        rng = np.random.default_rng(11)
+        for trial in range(50):
+            count = int(rng.integers(1, 30))
+            times = rng.uniform(0.0, 5.0, count)
+            costs = rng.uniform(0.0, 5.0, count)
+            # Inject exact ties to exercise the tolerance handling.
+            if count > 3:
+                times[1] = times[0]
+                costs[2] = costs[0]
+            scalar = skyline_indices(times.tolist(), costs.tolist())
+            vectorized = skyline_filter(times, costs)
+            assert vectorized == scalar
+
+    def test_empty(self):
+        assert skyline_filter(np.array([]), np.array([])) == []

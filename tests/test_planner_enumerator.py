@@ -6,6 +6,7 @@ from repro.errors import PlanningError
 from repro.planner.enumerator import EnumeratorConfig, PlanEnumerator
 from repro.planner.plan import PlanKind
 from repro.structures.cached_index import CachedIndex
+from repro.workload.query import Predicate, PredicateKind, QueryTemplate
 
 
 @pytest.fixture
@@ -106,3 +107,49 @@ class TestConfiguration:
             EnumeratorConfig(max_extra_nodes=-1)
         with pytest.raises(PlanningError):
             EnumeratorConfig(max_candidate_indexes_per_query=-1)
+
+
+class TestMemoInvalidation:
+    def test_generation_counts_invalidations(self, enumerator):
+        assert enumerator.generation == 0
+        assert enumerator.invalidate() == 1
+        assert enumerator.invalidate() == 2
+        assert enumerator.generation == 2
+
+    def test_invalidate_refreshes_stale_template_name_reuse(self, execution_model):
+        # Two different template shapes sharing one name, as happens when a
+        # new catalog or workload reuses template names against a live
+        # enumerator.
+        before = QueryTemplate(
+            name="reused_name", table_name="lineitem",
+            predicates=(Predicate("lineitem", "l_shipdate",
+                                  PredicateKind.RANGE, 0.1),),
+            projection_columns=("l_quantity",),
+        )
+        after = QueryTemplate(
+            name="reused_name", table_name="lineitem",
+            predicates=(Predicate("lineitem", "l_shipmode",
+                                  PredicateKind.EQUALITY, 0.2),),
+            projection_columns=("l_discount",),
+        )
+        enumerator = PlanEnumerator(execution_model)
+
+        def scan_keys(query_id, template):
+            query = template.instantiate(query_id=query_id, arrival_time=0.0)
+            plans = enumerator.enumerate(query)
+            scan = next(p for p in plans
+                        if p.kind is PlanKind.CACHE_COLUMN_SCAN)
+            return scan.structure_keys
+
+        assert "column:lineitem.l_shipdate" in scan_keys(0, before)
+
+        # Regression: without invalidation the memo keyed on the bare name
+        # serves the old template's column set to the new shape.
+        stale = scan_keys(1, after)
+        assert "column:lineitem.l_shipmode" not in stale
+        assert "column:lineitem.l_shipdate" in stale
+
+        enumerator.invalidate()
+        fresh = scan_keys(2, after)
+        assert "column:lineitem.l_shipmode" in fresh
+        assert "column:lineitem.l_shipdate" not in fresh

@@ -1,0 +1,116 @@
+"""Unit tests for the per-template plan tables of the batched planner."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.planner.enumerator import PlanEnumerator
+from repro.planner.plan import PlanKind
+from repro.planner.plan_table import PlanTableCache, build_plan_table
+from repro.structures.cached_index import CachedIndex
+
+
+@pytest.fixture
+def enumerator(execution_model):
+    return PlanEnumerator(
+        execution_model,
+        candidate_indexes=(
+            CachedIndex("lineitem", ("l_shipdate",)),
+            CachedIndex("lineitem", ("l_shipmode",)),
+        ),
+    )
+
+
+class TestBuildPlanTable:
+    def test_rows_mirror_enumeration_order(self, enumerator, execution_model,
+                                           sample_query):
+        query = sample_query()
+        table = build_plan_table(query, enumerator, execution_model)
+        plans = enumerator.enumerate(query)
+        assert table.row_count == len(plans)
+        for row, plan in zip(table.rows, plans):
+            assert row.plan.kind is plan.kind
+            assert row.plan.node_count == plan.node_count
+            assert row.plan.structure_keys == plan.structure_keys
+
+    def test_backend_row_position_and_base(self, enumerator, execution_model,
+                                           sample_query):
+        query = sample_query()
+        table = build_plan_table(query, enumerator, execution_model)
+        assert table.backend_row is not None
+        assert table.rows[table.backend_row].plan.kind is PlanKind.BACKEND
+        assert table.backend_base is not None
+        # The backend row is never constant: its transfer leg varies with
+        # the instance selectivities.
+        assert not table.rows[table.backend_row].constant
+
+    def test_column_scans_are_constant(self, enumerator, execution_model,
+                                       sample_query):
+        table = build_plan_table(sample_query(), enumerator, execution_model)
+        for row in table.rows:
+            if row.plan.kind is PlanKind.CACHE_COLUMN_SCAN:
+                assert row.constant
+                assert row.served_positions == ()
+
+    def test_serving_index_rows_are_instance_dependent(self, enumerator,
+                                                       execution_model,
+                                                       sample_query):
+        # Q6 predicates l_shipdate, so the shipdate index serves a prefix.
+        table = build_plan_table(sample_query("q6_forecast_revenue"),
+                                 enumerator, execution_model)
+        serving = [row for row in table.rows
+                   if row.plan.kind is PlanKind.CACHE_INDEX
+                   and row.plan.index.key == "index:lineitem(l_shipdate)"]
+        assert serving
+        for row in serving:
+            assert not row.constant
+            assert row.served_positions
+            assert row.probe_bytes is not None and row.probe_bytes > 0
+
+    def test_unique_structures_dedup_across_rows(self, enumerator,
+                                                 execution_model,
+                                                 sample_query):
+        table = build_plan_table(sample_query(), enumerator, execution_model)
+        keys = [structure.key for structure in table.unique_structures]
+        assert len(keys) == len(set(keys))
+        # Every row's slots resolve to exactly its plan's structures, in order.
+        for row in table.rows:
+            resolved = tuple(table.unique_structures[slot]
+                             for slot in row.structure_indices)
+            assert resolved == row.plan.structures
+
+    def test_empty_plan_set_rejected(self, execution_model, sample_query):
+        class EmptyEnumerator(PlanEnumerator):
+            def enumerate(self, query):
+                return []
+
+        with pytest.raises(PlanningError):
+            build_plan_table(sample_query(), EmptyEnumerator(execution_model),
+                             execution_model)
+
+
+class TestPlanTableCache:
+    def test_tables_are_cached_per_template(self, enumerator, execution_model,
+                                            sample_query):
+        cache = PlanTableCache()
+        first = cache.table_for(sample_query(query_id=0), enumerator,
+                                execution_model)
+        second = cache.table_for(sample_query(query_id=1), enumerator,
+                                 execution_model)
+        assert first is second
+        assert len(cache) == 1
+
+    def test_generation_bump_invalidates(self, enumerator, execution_model,
+                                         sample_query):
+        cache = PlanTableCache()
+        stale = cache.table_for(sample_query(), enumerator, execution_model)
+        enumerator.invalidate()
+        fresh = cache.table_for(sample_query(), enumerator, execution_model)
+        assert fresh is not stale
+        assert fresh.generation == enumerator.generation
+
+    def test_clear_drops_tables(self, enumerator, execution_model,
+                                sample_query):
+        cache = PlanTableCache()
+        cache.table_for(sample_query(), enumerator, execution_model)
+        cache.clear()
+        assert len(cache) == 0
