@@ -7,9 +7,12 @@ Exposes the experiment drivers without writing any Python::
     python -m repro.cli headline
     python -m repro.cli ablation regret
     python -m repro.cli scenario --arrival diurnal --scheme econ-cheap
+    python -m repro.cli scenario --arrival shocks --settlement-period 300
     python -m repro.cli tenants --n-tenants 100 --jobs 4
     python -m repro.cli tenants --n-tenants 1000 --shards 4 --jobs 4
     python -m repro.cli tenants --cache-partitions 4 --settlement-period 60
+    python -m repro.cli shocks --schemes all --strict-maintenance
+    python -m repro.cli shocks --cache-partitions 2 --placement adaptive
     python -m repro.cli describe
 
 Every subcommand prints a plain-text table to stdout. ``--jobs N`` fans
@@ -36,6 +39,16 @@ byte-identical to earlier releases. ``--planning batched`` (figure,
 headline, scenario and tenants commands) switches the economic schemes to
 the vectorized per-template planner — a pure throughput optimisation whose
 tables are byte-identical to the default ``--planning scalar``.
+
+``shocks`` runs the adversarial scenario grammar: every scheme replays
+the same grammar-composed workload twice — clean and with market shocks
+injected (structure invalidations, provider price shocks, tenant budget
+squeezes, optionally the strict-maintenance shutdown policy) — and the
+resilience table compares the two, with a bitwise conservation audit on
+the shocked run. ``--shock``/``--class`` extend the stock grammar
+(also accepted by ``scenario``/``tenants``); ``--shards`` and
+``--cache-partitions`` rerun the shocked cells through the scaling
+modes, whose own barrier audits then pin conservation under faults.
 """
 
 from __future__ import annotations
@@ -76,6 +89,7 @@ from repro.experiments.figure5 import figure5_table
 from repro.experiments.headline import headline_table
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_grid
+from repro.experiments.shocks import run_shock_resilience, shock_resilience_table
 from repro.experiments.tenants import (
     TenantExperimentConfig,
     run_tenant_experiment,
@@ -85,6 +99,14 @@ from repro.experiments.tenants import (
 from repro.policies.factory import SCHEME_NAMES
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
+from repro.workload.grammar import (
+    GrammarDegeneracyWarning,
+    ScenarioGrammar,
+    compile_shock_events,
+    default_shock_grammar,
+    parse_query_class,
+    parse_shock,
+)
 from repro.workload.scenarios import SCENARIO_NAMES, build_scenario
 
 _PROFILES = {
@@ -142,6 +164,25 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
+def _shock_spec(text: str):
+    """Argparse type for ``--shock``: the grammar's shock DSL, exit-2
+    validated (``invalidate@FRAC[:PREDICATE]``, ``price@FRAC:DUR:FACTOR``,
+    ``squeeze@FRAC:DUR:FACTOR``)."""
+    try:
+        return parse_shock(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _query_class_spec(text: str):
+    """Argparse type for ``--class``: ``NAME:WEIGHT:TPL1+TPL2``, exit-2
+    validated (template names are checked eagerly)."""
+    try:
+        return parse_query_class(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -197,6 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
                           default=PLANNING_SCALAR,
                           help="query planning path (scalar or batched; "
                                "byte-identical outputs, default: scalar)")
+    scenario.add_argument("--shock", type=_shock_spec, action="append",
+                          default=[], metavar="SPEC",
+                          help="inject a market shock: invalidate@FRAC"
+                               "[:PREDICATE], price@FRAC:DUR:FACTOR or "
+                               "squeeze@FRAC:DUR:FACTOR (fractions of the "
+                               "run span; repeatable; added to the shocks "
+                               "of --arrival shocks)")
+    scenario.add_argument("--strict-maintenance", action="store_true",
+                          help="enable the strict-maintenance shutdown "
+                               "policy: at every settlement, structures are "
+                               "shut down lowest-benefit-first while accrued "
+                               "maintenance exceeds query income")
 
     tenants = subparsers.add_parser(
         "tenants",
@@ -274,6 +327,76 @@ def build_parser() -> argparse.ArgumentParser:
                          help="query planning path (scalar or batched; "
                               "byte-identical tables under --shards and "
                               "--cache-partitions too, default: scalar)")
+    tenants.add_argument("--shock", type=_shock_spec, action="append",
+                         default=[], metavar="SPEC",
+                         help="inject a market shock into every cell: "
+                              "invalidate@FRAC[:PREDICATE], "
+                              "price@FRAC:DUR:FACTOR or "
+                              "squeeze@FRAC:DUR:FACTOR (repeatable)")
+    tenants.add_argument("--strict-maintenance", action="store_true",
+                         help="enable the strict-maintenance shutdown "
+                              "policy at settlement boundaries")
+
+    shocks = subparsers.add_parser(
+        "shocks",
+        help="adversarial grammar: clean vs shocked cells per scheme, "
+             "with a bitwise conservation audit")
+    shocks.add_argument("--schemes", default="econ-cheap", metavar="LIST",
+                        help="comma-separated scheme names, or 'all' "
+                             "(default: econ-cheap)")
+    shocks.add_argument("--n-tenants", type=int, default=50, metavar="N",
+                        help="tenants active at any one time (default: 50)")
+    shocks.add_argument("--queries", type=int, default=400,
+                        help="queries to simulate (default: 400)")
+    shocks.add_argument("--interarrival", type=float, default=10.0,
+                        help="mean inter-arrival time in seconds "
+                             "(default: 10)")
+    shocks.add_argument("--seed", type=int, default=0,
+                        help="grammar/workload/population seed (default: 0)")
+    shocks.add_argument("--settlement-period", type=float, default=None,
+                        metavar="S",
+                        help="fire a periodic maintenance settlement every "
+                             "S simulated seconds (strict maintenance "
+                             "enforces at each one)")
+    shocks.add_argument("--shock", type=_shock_spec, action="append",
+                        default=[], metavar="SPEC",
+                        help="extra shock production composed onto the "
+                             "stock grammar (repeatable)")
+    shocks.add_argument("--class", type=_query_class_spec, action="append",
+                        default=[], dest="query_class", metavar="SPEC",
+                        help="extra query class NAME:WEIGHT:TPL1+TPL2 "
+                             "composed onto the stock grammar (repeatable; "
+                             "WEIGHT 0 is dropped with a warning)")
+    shocks.add_argument("--strict-maintenance", action="store_true",
+                        help="also inject the strict-maintenance shutdown "
+                             "policy into the shocked cells")
+    shocks.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the clean/shocked pairs "
+                             "(default: 1, sequential; byte-identical)")
+    shocks.add_argument("--shards", type=_positive_int, default=1,
+                        metavar="N",
+                        help="additionally rerun the shocked cells split "
+                             "into N tenant shards (repro.sharding); the "
+                             "sharded tables must be byte-identical to the "
+                             "plain shocked run (default: 1, skip)")
+    shocks.add_argument("--cache-partitions", type=_positive_int, default=1,
+                        metavar="N",
+                        help="additionally rerun the shocked cells with the "
+                             "cache and economy partitioned N ways "
+                             "(repro.distcache), auditing conservation at "
+                             "every settlement barrier (default: 1, skip)")
+    shocks.add_argument("--placement", choices=PLACEMENT_MODES,
+                        default="hash",
+                        help="structure placement for the partitioned rerun "
+                             "(default: hash)")
+    shocks.add_argument("--handoff-threshold", type=_nonnegative_float,
+                        default=0.0, metavar="D",
+                        help="adaptive-placement hysteresis margin for the "
+                             "partitioned rerun (default: 0)")
+    shocks.add_argument("--planning", choices=PLANNING_MODES,
+                        default=PLANNING_SCALAR,
+                        help="query planning path (scalar or batched; "
+                             "byte-identical tables, default: scalar)")
 
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
@@ -303,16 +426,20 @@ def _scenario_command(args: argparse.Namespace) -> str:
         interarrival_s=args.interarrival,
         seed=args.seed,
     )
+    shocks = tuple(scenario.shocks) + tuple(args.shock)
     system = CloudSystem()
     scheme = system.scheme(args.scheme, economic_config=EconomicSchemeConfig(
-        economy=EconomyConfig(planning=args.planning),
+        economy=EconomyConfig(planning=args.planning,
+                              strict_maintenance=args.strict_maintenance),
     ))
     simulation = CloudSimulation(scheme, SimulationConfig(
         settlement_period_s=args.settlement_period,
         failure_check_period_s=args.failure_check_period,
     ))
+    shock_events = compile_shock_events(shocks, scenario.queries)
     result = simulation.run(scenario.queries,
-                            phase_changes=scenario.phase_changes)
+                            phase_changes=scenario.phase_changes,
+                            shock_events=shock_events)
     summary = result.summary
     headers = ["metric", "value"]
     rows: List[List[object]] = [
@@ -320,6 +447,7 @@ def _scenario_command(args: argparse.Namespace) -> str:
         ["arrival scenario", f"{scenario.name} ({scenario.description})"],
         ["queries", summary.query_count],
         ["phase changes", len(scenario.phase_changes)],
+        ["shock events", len(shock_events)],
         ["duration_s", summary.duration_s],
         ["operating_cost", summary.operating_cost],
         ["maintenance", summary.maintenance_dollars],
@@ -329,12 +457,27 @@ def _scenario_command(args: argparse.Namespace) -> str:
         ["builds", summary.builds],
         ["evictions", summary.evictions],
     ]
+    engine = getattr(scheme, "engine", None)
+    if engine is not None:
+        # The same bitwise identity the shocks command audits: provider
+        # query-payment deposits fold to exactly the charged total.
+        from repro.economy.account import CloudAccount
+
+        banked = engine.account.totals_by_category().get(
+            CloudAccount.CATEGORY_QUERY_PAYMENT, 0.0)
+        charged = 0.0
+        for outcome in engine.outcomes:
+            charged += outcome.charge
+        rows.append(["conservation",
+                     "exact" if banked == charged
+                     else f"VIOLATED ({banked!r} != {charged!r})"])
     title = f"Scenario - {scenario.name} x {summary.scheme_name}"
     return format_table(headers, rows, title=title)
 
 
 #: Library warnings the CLI re-renders as plain ``warning:`` stderr lines.
-_RENDERED_WARNINGS = (ShardImbalanceWarning, PartitionImbalanceWarning)
+_RENDERED_WARNINGS = (ShardImbalanceWarning, PartitionImbalanceWarning,
+                      GrammarDegeneracyWarning)
 
 
 def _render_warnings(caught: List[warnings.WarningMessage]) -> None:
@@ -387,6 +530,8 @@ def _tenants_command(args: argparse.Namespace) -> str:
             churn_fraction=args.churn_fraction,
             settlement_period_s=args.settlement_period,
             planning=args.planning,
+            shocks=tuple(args.shock),
+            strict_maintenance=args.strict_maintenance,
         )
         for name in names
     ]
@@ -422,6 +567,116 @@ def _tenants_command(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _shocks_command(args: argparse.Namespace) -> str:
+    names = (list(SCHEME_NAMES) if args.schemes == "all"
+             else [name.strip() for name in args.schemes.split(",")
+                   if name.strip()])
+    if not names:
+        raise ReproError("--schemes selects no scheme")
+    if args.cache_partitions > 1 and args.shards > 1:
+        raise ReproError(
+            "--cache-partitions and --shards are alternative scaling modes "
+            "and cannot both exceed 1"
+        )
+    if args.placement != "hash" and args.cache_partitions == 1:
+        raise ReproError(
+            "--placement adaptive needs --cache-partitions > 1: with one "
+            "partition there is no placement to adapt"
+        )
+    grammar = default_shock_grammar()
+    if args.query_class or args.shock:
+        grammar = grammar | ScenarioGrammar(
+            classes=tuple(args.query_class), shocks=tuple(args.shock))
+    configs = [
+        TenantExperimentConfig(
+            scheme=name,
+            tenant_count=args.n_tenants,
+            query_count=args.queries,
+            interarrival_s=args.interarrival,
+            seed=args.seed,
+            settlement_period_s=args.settlement_period,
+            planning=args.planning,
+            shocks=grammar.shocks,
+            tenant_tiers=grammar.tiers,
+            strict_maintenance=args.strict_maintenance,
+            grammar=grammar,
+        )
+        for name in names
+    ]
+    sections: List[str] = []
+    conservation_lines: List[str] = []
+    with warnings.catch_warnings(record=True) as caught:
+        for category in _RENDERED_WARNINGS:
+            warnings.simplefilter("default", category)
+        results = run_shock_resilience(configs, jobs=args.jobs)
+        sections.append(shock_resilience_table(results))
+        for item in results:
+            if item.audit is None:
+                conservation_lines.append(
+                    f"{item.scheme}: conservation: n/a (no economy)")
+            elif item.audit.exact:
+                conservation_lines.append(
+                    f"{item.scheme}: conservation: exact "
+                    f"({item.audit.wallets_audited} wallets audited)")
+            else:
+                conservation_lines.append(
+                    f"{item.scheme}: conservation: VIOLATED "
+                    f"({item.audit.query_payments!r} != "
+                    f"{item.audit.outcome_charges!r})")
+
+        if args.shards > 1:
+            # The sharded rerun must reproduce the plain shocked cells
+            # byte for byte — replicated replay is fault-transparent.
+            sharded = run_tenant_experiment(configs, jobs=args.jobs,
+                                            shards=args.shards)
+            for result, item in zip(sharded, results):
+                identical = (result.summary == item.shocked.summary
+                             and result.tenants == item.shocked.tenants
+                             and result.wallet_credit
+                             == item.shocked.wallet_credit)
+                if not identical:
+                    raise ReproError(
+                        f"sharded shocked run diverged from the plain one "
+                        f"for scheme {result.config.scheme!r}"
+                    )
+                conservation_lines.append(
+                    f"{result.config.scheme}: --shards {args.shards} "
+                    f"byte-identical under shocks")
+        if args.cache_partitions > 1:
+            # Partitioned mode needs an economy; the bypass baseline has
+            # none and is skipped from the rerun with a note.
+            part_configs = [config for config in configs
+                            if config.scheme != "bypass"]
+            if len(part_configs) < len(configs):
+                conservation_lines.append(
+                    "bypass: partitioned rerun skipped (no economy)")
+            reports = run_partitioned_experiment(
+                part_configs, partitions=args.cache_partitions,
+                jobs=args.jobs, placement=args.placement,
+                handoff_threshold=args.handoff_threshold,
+                compare_baseline=False)
+            for report in reports:
+                exact = all(cp.query_payments == cp.outcome_charges
+                            for cp in report.checkpoints)
+                scheme = report.cell.config.scheme
+                if exact:
+                    conservation_lines.append(
+                        f"{scheme}: conservation: exact across "
+                        f"{report.partition_count} partitions "
+                        f"({report.barriers_verified} barriers)")
+                else:
+                    conservation_lines.append(
+                        f"{scheme}: conservation: VIOLATED in "
+                        f"partitioned rerun")
+                sections.append(distcache_partition_table(report))
+                placement = distcache_placement_table(report)
+                if placement is not None:
+                    sections.append(placement)
+    _render_warnings(caught)
+    sections.append("\n".join(conservation_lines))
+    return "\n\n".join(sections)
+
+
 def _describe_command() -> str:
     system = CloudSystem()
     lines = [system.schema.describe(), ""]
@@ -449,6 +704,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _scenario_command(args)
         elif args.command == "tenants":
             output = _tenants_command(args)
+        elif args.command == "shocks":
+            output = _shocks_command(args)
         else:
             output = _describe_command()
     except ReproError as error:

@@ -207,7 +207,9 @@ def merge_partition_results(
         registries: Sequence[TenantRegistry],
         duration_s: float,
         population_size: int,
-        churn_waves: int) -> TenantCellResult:
+        churn_waves: int,
+        kernel_losses_by_partition: Sequence[Sequence[float]] = (),
+        ) -> TenantCellResult:
     """Fold per-partition outputs into one cell result.
 
     With one partition the replay is handed to a fresh collector in the
@@ -216,6 +218,11 @@ def merge_partition_results(
     :func:`repro.experiments.tenants.run_tenant_cell`. With several, the
     steps interleave under the arrival order and maintenance totals add
     in partition order; ``duration_s`` is the global run span.
+    ``kernel_losses_by_partition`` carries kernel-driven eviction losses
+    (invalidation shocks, strict-maintenance shutdowns) per partition in
+    event order; they book exactly like
+    :meth:`~repro.simulator.metrics.MetricsCollector.record_kernel_evictions`
+    in the unpartitioned run.
     """
     collector = MetricsCollector(config.scheme)
     if len(steps_by_partition) == 1:
@@ -235,6 +242,11 @@ def merge_partition_results(
             for dollars, _ in records:
                 total_maintenance += dollars
         collector.record_maintenance(total_maintenance, duration_s)
+
+    for losses in kernel_losses_by_partition:
+        # The losses are already dollars: book them through the same
+        # accumulator the event loop uses, with an identity loss function.
+        collector.record_kernel_evictions(losses, loss_of=lambda loss: loss)
 
     result_steps = collector.steps
     return TenantCellResult(

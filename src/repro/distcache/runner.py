@@ -72,16 +72,26 @@ from repro.experiments.tenants import (
 )
 from repro.policies.base import CachingScheme, SchemeStep
 from repro.policies.economic import EconomicSchemeConfig
+from repro.simulator.events import (
+    ProviderPriceShockEvent,
+    StructureInvalidationEvent,
+    TenantBudgetSqueezeEvent,
+)
 from repro.simulator.metrics import MetricsSummary
 from repro.simulator.simulation import trailing_interval_for
 from repro.system import CloudSystem
+from repro.workload.grammar import compile_shock_events
 
 #: Event-order ranks mirroring :mod:`repro.simulator.events`: at one
-#: instant, lifecycle markers apply before the barrier settles, and the
-#: barrier settles before simultaneous queries run.
+#: instant, lifecycle markers apply before the barrier settles, the
+#: barrier settles before simultaneous market shocks land, and shocks
+#: land before simultaneous queries run.
 _PRIORITY_ARRIVAL = 4
 _PRIORITY_CHURN = 6
 _PRIORITY_BARRIER = 10
+_PRIORITY_INVALIDATION = 12
+_PRIORITY_PRICE_SHOCK = 14
+_PRIORITY_SQUEEZE = 16
 _PRIORITY_QUERY = 30
 
 
@@ -101,12 +111,20 @@ class PartitionEpochTask:
 
 @dataclass(frozen=True)
 class PartitionEpochResult:
-    """One partition's epoch output: updated state plus the replay record."""
+    """One partition's epoch output: updated state plus the replay record.
+
+    ``eviction_losses`` carries the dollar loss of each kernel-driven
+    eviction (invalidation shocks, strict-maintenance shutdowns) in
+    event order, so the merge can book them exactly like
+    ``MetricsCollector.record_kernel_evictions`` does in the
+    unpartitioned run.
+    """
 
     scheme: CachingScheme
     steps: Tuple[SchemeStep, ...]
     maintenance: Tuple[Tuple[float, float], ...]
     last_settled_s: float
+    eviction_losses: Tuple[float, ...] = ()
 
 
 #: Placement modes: ``hash`` pins every structure to its hash owner
@@ -216,6 +234,7 @@ def run_partition_epoch(task: PartitionEpochTask) -> PartitionEpochResult:
     registry = scheme.tenant_registry
     steps: List[SchemeStep] = []
     maintenance: List[Tuple[float, float]] = []
+    eviction_losses: List[float] = []
     last_settled_s = task.last_settled_s
     # Batched planners score the whole epoch slice in one vectorized pass;
     # scalar schemes ignore the priming (see CachingScheme.prime_workload).
@@ -241,14 +260,36 @@ def run_partition_epoch(task: PartitionEpochTask) -> PartitionEpochResult:
         elif rank == _PRIORITY_CHURN:
             if registry is not None:
                 registry.deactivate(payload.tenant_id, now=payload.time_s)
+        elif rank == _PRIORITY_INVALIDATION:
+            # Maintenance settles at pre-fault rates first, mirroring the
+            # kernel's settle-at-every-event contract. The partition only
+            # holds (and therefore only destroys) its own structures; the
+            # loss propagates to the directory at the next barrier.
+            settle(payload.time_s)
+            records = scheme.apply_invalidation(payload.predicate,
+                                                payload.time_s)
+            eviction_losses.extend(
+                scheme.eviction_loss(record) for record in records)
+        elif rank == _PRIORITY_PRICE_SHOCK:
+            settle(payload.time_s)
+            scheme.apply_price_shock(payload.factor, payload.time_s)
+        elif rank == _PRIORITY_SQUEEZE:
+            settle(payload.time_s)
+            scheme.apply_budget_squeeze(payload.factor, payload.time_s)
         else:
             raise DistCacheError(f"unknown epoch item rank {rank}")
     settle(task.settle_to_s)
+    # The barrier doubles as the settlement event: strict-maintenance
+    # shutdown priorities run here, exactly like SchemeTenant.on_settlement.
+    records = scheme.enforce_maintenance(task.settle_to_s)
+    eviction_losses.extend(
+        scheme.eviction_loss(record) for record in records)
     return PartitionEpochResult(
         scheme=scheme,
         steps=tuple(steps),
         maintenance=tuple(maintenance),
         last_settled_s=last_settled_s,
+        eviction_losses=tuple(eviction_losses),
     )
 
 
@@ -354,21 +395,32 @@ class DistCacheRunner:
             schemes.append(system.scheme(
                 config.scheme,
                 economic_config=EconomicSchemeConfig(
-                    economy=EconomyConfig(planning=config.planning),
+                    economy=EconomyConfig(
+                        planning=config.planning,
+                        strict_maintenance=config.strict_maintenance,
+                    ),
                     tenants=registry, engine_factory=factory),
             ))
         return schemes
 
-    def _epoch_items(self, queries, lifecycle
+    def _epoch_items(self, queries, lifecycle, shocks=()
                      ) -> List[List[Tuple[float, int, int, object]]]:
         """Per-partition item lists in kernel dispatch order.
 
         Every partition receives its routed queries plus *all* lifecycle
-        markers (each partition holds the full registry); items are
-        ``(time, rank, insertion, payload)`` sorted exactly like the
-        kernel's ``(time_s, priority, FIFO)`` queue — queries are
-        scheduled first, markers after, matching ``_run_tenants``.
+        markers and market-shock events (each partition holds the full
+        registry, and a shock hits the whole market — an invalidation
+        must destroy matches on every partition, a repricing reprices
+        every sub-economy); items are ``(time, rank, insertion,
+        payload)`` sorted exactly like the kernel's ``(time_s, priority,
+        FIFO)`` queue — queries are scheduled first, markers after,
+        shocks last, matching ``_run_tenants``.
         """
+        shock_ranks = {
+            StructureInvalidationEvent: _PRIORITY_INVALIDATION,
+            ProviderPriceShockEvent: _PRIORITY_PRICE_SHOCK,
+            TenantBudgetSqueezeEvent: _PRIORITY_SQUEEZE,
+        }
         sequenced: List[Tuple[float, int, int, object]] = []
         counter = 0
         for query in queries:
@@ -379,6 +431,10 @@ class DistCacheRunner:
             rank = (_PRIORITY_ARRIVAL if marker.kind == "arrival"
                     else _PRIORITY_CHURN)
             sequenced.append((marker.time_s, rank, counter, marker))
+            counter += 1
+        for event in shocks:
+            sequenced.append(
+                (event.time_s, shock_ranks[type(event)], counter, event))
             counter += 1
         sequenced.sort(key=lambda item: item[:3])
 
@@ -413,7 +469,9 @@ class DistCacheRunner:
         populated = build_population(config)
         queries = list(populated.queries)
         schemes = self._build_schemes(config, populated.profiles)
-        items = self._epoch_items(queries, populated.lifecycle)
+        items = self._epoch_items(
+            queries, populated.lifecycle,
+            compile_shock_events(config.shocks, populated.queries))
 
         routed_counts = [
             sum(1 for _, rank, _, _ in partition_items
@@ -445,6 +503,7 @@ class DistCacheRunner:
         last_settled = [start_s] * self.partition_count
         steps: List[List[SchemeStep]] = [[] for _ in schemes]
         maintenance: List[List[Tuple[float, float]]] = [[] for _ in schemes]
+        kernel_losses: List[List[float]] = [[] for _ in schemes]
         checkpoints: List[PartitionCheckpoint] = []
         handoffs: List[HandoffRecord] = []
         publications: List[DirectoryPublication] = []
@@ -491,6 +550,7 @@ class DistCacheRunner:
                     schemes[partition] = result.scheme
                     steps[partition].extend(result.steps)
                     maintenance[partition].extend(result.maintenance)
+                    kernel_losses[partition].extend(result.eviction_losses)
                     last_settled[partition] = result.last_settled_s
 
                 applied: List[HandoffRecord] = []
@@ -519,6 +579,7 @@ class DistCacheRunner:
             duration_s=end_s - start_s,
             population_size=populated.tenant_count,
             churn_waves=populated.churn_waves,
+            kernel_losses_by_partition=kernel_losses,
         )
         baseline: Optional[MetricsSummary] = None
         if self._compare_baseline and self.partition_count > 1:

@@ -86,6 +86,12 @@ class EconomyConfig:
             whole arrival batches through the vectorized plan-table path
             (:mod:`repro.economy.batch`), with outcomes bit-for-bit
             identical to scalar processing.
+        strict_maintenance: the shutdown-priority policy — at every
+            settlement, when maintenance accrued since the last
+            enforcement exceeds the query-payment income earned over the
+            same stretch, the lowest-benefit structures are shut down
+            (evicted) until the books balance. Off by default: the
+            paper's provider carries structures through lean periods.
 
     Example:
         >>> EconomyConfig().regret_fraction == 0.01
@@ -106,6 +112,7 @@ class EconomyConfig:
     regret_pool_capacity: int = 512
     user_model: UserModel = field(default_factory=UserModel)
     planning: str = PLANNING_SCALAR
+    strict_maintenance: bool = False
 
     def __post_init__(self) -> None:
         if self.amortization_horizon <= 0:
@@ -236,6 +243,22 @@ class EconomyEngine:
         self._column_keys_memo: FrozenSet[str] = frozenset()
         self._column_keys_version: int = -1
         self._pricing_states: Dict[str, _TablePricingState] = {}
+        # Market-shock state. Price shocks scale what the *provider* pays
+        # (spot build spend and the investment rule's estimates); budget
+        # squeezes scale every tenant's willingness-to-pay at offer time.
+        # Users keep amortizing the price actually paid for a structure,
+        # so both factors leave credit conservation bitwise-exact.
+        self._price_factor: float = 1.0
+        self._budget_factor: float = 1.0
+        self._shock_counts: Dict[str, int] = {}
+        # Query-payment watermark of the last strict-maintenance
+        # enforcement: income earned since is what may cover accrual.
+        # The instant guard keeps enforcement idempotent when several
+        # settlement events land on one instant (a periodic settlement
+        # coinciding with the trailing one): re-enforcing with zero
+        # elapsed income would shut down everything still accruing.
+        self._strict_income_mark: float = 0.0
+        self._strict_enforced_at: Optional[float] = None
 
     # -- accessors -----------------------------------------------------------------
 
@@ -355,6 +378,132 @@ class EconomyEngine:
         """Process queries in order (convenience wrapper for tests/examples)."""
         return [self.process_query(query) for query in queries]
 
+    # -- market shocks -----------------------------------------------------------------
+    #
+    # Shock semantics (the conservation-under-faults contract, see
+    # docs/scenarios.md): invalidation moves no money, price shocks scale
+    # only provider-side spending (spot build spend + investment
+    # estimates + the maintenance *metric*), and budget squeezes scale
+    # offers whose charges still mirror into tenant wallets — so credit
+    # conservation stays bitwise-exact through arbitrary shock sequences.
+
+    @property
+    def price_factor(self) -> float:
+        """The currently active provider price-shock factor."""
+        return self._price_factor
+
+    @property
+    def budget_factor(self) -> float:
+        """The currently active tenant budget-squeeze factor."""
+        return self._budget_factor
+
+    @property
+    def shock_counts(self) -> Dict[str, int]:
+        """Count of shock applications by kind (reporting/diagnostics)."""
+        return dict(self._shock_counts)
+
+    def apply_price_shock(self, factor: float) -> None:
+        """Reprice provider build/maintenance by ``factor`` from now on.
+
+        ``factor == 1.0`` ends a shock window. Structures built during the
+        window are admitted at the spot (scaled) cost actually paid, so
+        their amortization recovers the real spend after the shock lifts.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"price shock factor must be positive, got {factor}"
+            )
+        self._price_factor = factor
+        self._shock_counts["price_shock"] = (
+            self._shock_counts.get("price_shock", 0) + 1
+        )
+
+    def apply_budget_squeeze(self, factor: float) -> None:
+        """Scale every tenant's willingness-to-pay by ``factor`` from now on.
+
+        ``factor == 1.0`` ends a squeeze window. The scaled budget caps
+        the negotiated charge, which still mirrors into the issuing
+        tenant's wallet, so provider and tenant books keep balancing.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"budget squeeze factor must be positive, got {factor}"
+            )
+        self._budget_factor = factor
+        self._shock_counts["budget_squeeze"] = (
+            self._shock_counts.get("budget_squeeze", 0) + 1
+        )
+
+    def invalidate_structures(self, predicate: str,
+                              now: float) -> Tuple[EvictionRecord, ...]:
+        """Destroy cached structures whose key contains ``predicate``.
+
+        An empty predicate destroys everything. Beyond evicting, the
+        enumerator's generation is bumped (so batched plan tables
+        rebuild) and the batched pricing memos are dropped — the next
+        query re-prices against the post-fault cache on either planning
+        path, and the economy must re-earn the lost structures through
+        its normal investment rule.
+        """
+        matching = [entry.structure.key for entry in self._cache.entries
+                    if predicate in entry.structure.key]
+        records = tuple(
+            self._cache.evict(key, now=now, reason="invalidated")
+            for key in matching
+        )
+        self._enumerator.invalidate()
+        self._pricing_states.clear()
+        self._shock_counts["invalidation"] = (
+            self._shock_counts.get("invalidation", 0) + 1
+        )
+        return records
+
+    def enforce_maintenance(self, now: float) -> Tuple[EvictionRecord, ...]:
+        """The strict-maintenance shutdown-priority policy.
+
+        When :attr:`EconomyConfig.strict_maintenance` is set: compare the
+        spot-priced maintenance accrued (unbilled) across the cache with
+        the query-payment income earned since the previous enforcement,
+        and shut down — evict — the lowest-benefit structures first until
+        accrual no longer exceeds income. Benefit is what a structure has
+        actually earned back (maintenance billed plus amortization
+        recovered); ties break on the key for determinism.
+        """
+        if not self._config.strict_maintenance:
+            return ()
+        if (self._strict_enforced_at is not None
+                and now <= self._strict_enforced_at):
+            return ()
+        self._strict_enforced_at = now
+        income_total = self._account.totals_by_category().get(
+            CloudAccount.CATEGORY_QUERY_PAYMENT, 0.0
+        )
+        income = income_total - self._strict_income_mark
+        self._strict_income_mark = income_total
+        accrued_by_key = self._cache.accrued_maintenance(now)
+        accrued = sum(accrued_by_key.values()) * self._price_factor
+        if accrued <= income:
+            return ()
+        ranked = sorted(
+            self._cache.entries,
+            key=lambda entry: (
+                entry.maintenance_billed + entry.amortized_recovered,
+                entry.structure.key,
+            ),
+        )
+        records: List[EvictionRecord] = []
+        for entry in ranked:
+            if accrued <= income:
+                break
+            key = entry.structure.key
+            accrued -= accrued_by_key.get(key, 0.0) * self._price_factor
+            records.append(
+                self._cache.evict(key, now=now, reason="maintenance_shutdown")
+            )
+        if records:
+            self._pricing_states.clear()
+        return tuple(records)
+
     # -- steps -----------------------------------------------------------------------
 
     def _price_plans(self, query: Query, now: float) -> List[PricedPlan]:
@@ -392,13 +541,21 @@ class EconomyEngine:
                 default=priced[0],
             )
         if self._tenants is not None:
-            return self._tenants.budget_for(
+            budget = self._tenants.budget_for(
                 query, reference.price, reference.response_time_s,
                 default_model=self._config.user_model,
             )
-        return self._config.user_model.budget_for(
-            query, reference.price, reference.response_time_s
-        )
+        else:
+            budget = self._config.user_model.budget_for(
+                query, reference.price, reference.response_time_s
+            )
+        return self._squeeze(budget)
+
+    def _squeeze(self, budget: BudgetFunction) -> BudgetFunction:
+        """Apply the active budget-squeeze factor to an offered budget."""
+        if self._budget_factor == 1.0:
+            return budget
+        return budget.scaled(self._budget_factor)
 
     # -- batched planning --------------------------------------------------------------
     #
@@ -572,11 +729,14 @@ class EconomyEngine:
         price = context.prices[reference]
         response_time = context.times[reference]
         if self._tenants is not None:
-            return self._tenants.budget_for(
+            budget = self._tenants.budget_for(
                 query, price, response_time,
                 default_model=self._config.user_model,
             )
-        return self._config.user_model.budget_for(query, price, response_time)
+        else:
+            budget = self._config.user_model.budget_for(query, price,
+                                                        response_time)
+        return self._squeeze(budget)
 
     def _materialize_row(self, query: Query, context: BatchPricingContext,
                          row_index: int, now: float) -> PricedPlan:
@@ -774,9 +934,14 @@ class EconomyEngine:
         return set(self._cached_column_keys())
 
     def _estimate_build_cost(self, structure: CacheStructure) -> float:
+        # The investment rule sees the *spot* (shock-scaled) price: a
+        # 3x provider shock must make marginal builds unattractive. The
+        # memoized catalog cost stays unscaled — it is shared with the
+        # batched pricing of unbuilt plans, which (like the scalar
+        # pricer) always quotes users catalog prices.
         return self._memoized_build_cost(
             structure, self._available_column_keys()
-        )
+        ) * self._price_factor
 
     def _build_structure(self, structure: CacheStructure, query_id: int,
                          now: float) -> List[StructureBuild]:
@@ -787,21 +952,27 @@ class EconomyEngine:
         """
         plan: List[Tuple[CacheStructure, float]] = []
         cached_columns = self._available_column_keys()
+        # Builds are paid at spot: the active price-shock factor scales
+        # every component of the build, and the admitted entry records the
+        # cost actually paid so amortization recovers the real spend.
+        spot = self._price_factor
         if isinstance(structure, CachedIndex):
             for column in structure.required_columns():
                 if column.key not in cached_columns:
-                    plan.append((column, self._structure_costs.build_cost(column)))
+                    plan.append(
+                        (column, self._structure_costs.build_cost(column) * spot)
+                    )
                     cached_columns.add(column.key)
             sort_only_cost = self._structure_costs.build_cost(
                 structure, cached_columns=cached_columns | {
                     column.key for column, _ in plan
                 },
-            )
+            ) * spot
             plan.append((structure, sort_only_cost))
         else:
             plan.append((structure, self._structure_costs.build_cost(
                 structure, cached_columns=cached_columns
-            )))
+            ) * spot))
 
         total_cost = sum(cost for _, cost in plan)
         if self._config.require_affordable_build and not self._account.can_afford(total_cost):

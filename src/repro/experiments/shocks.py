@@ -1,0 +1,253 @@
+"""Scheme resilience under market shocks: paired baseline/shocked cells.
+
+For every scheme the runner replays the identical populated workload
+twice — once clean, once with the configured shock sequence injected —
+and reports how much each headline metric degraded. The shocked run is
+additionally audited for **bitwise** conservation, reusing the fold
+identities the distributed layers pin:
+
+* provider side — the provider account's ``query_payment`` deposits fold
+  to exactly the total the query outcomes charged (the engine deposits
+  ``outcome.charge`` per query, in processing order, so the two folds
+  add the same floats in the same order);
+* wallet side — every tenant wallet's balance folds bitwise from its own
+  ledger (no money appears or vanishes outside the recorded
+  transactions).
+
+Shocks move *state* (structures destroyed, prices scaled, budgets
+squeezed), never money: a run whose audit is not exact is a bug, not a
+tolerance problem.
+
+``run_shock_resilience`` fans cells over worker processes exactly like
+:func:`repro.experiments.tenants.run_tenant_experiment` — each cell is
+deterministic, so the parallel tables are byte-identical.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.distcache.merge import ledger_fold
+from repro.economy.account import CloudAccount
+from repro.economy.engine import EconomyConfig
+from repro.economy.tenancy import TenantRegistry
+from repro.errors import ExperimentError
+from repro.experiments.reporting import format_table
+from repro.experiments.tenants import (
+    TenantCellResult,
+    TenantExperimentConfig,
+    build_population,
+    run_tenant_cell,
+    sorted_breakdowns,
+)
+from repro.policies.economic import EconomicSchemeConfig
+from repro.simulator.simulation import CloudSimulation, SimulationConfig
+from repro.system import CloudSystem
+from repro.workload.grammar import compile_shock_events
+
+
+@dataclass(frozen=True)
+class ConservationAudit:
+    """Bitwise conservation evidence from one shocked cell.
+
+    ``query_payments`` and ``outcome_charges`` are the provider-side and
+    tenant-side folds of the same money stream, computed independently;
+    ``wallet_ledger_mismatches`` counts wallets whose balance did not
+    fold bitwise from their own ledger (always 0 on a passing run).
+    """
+
+    query_payments: float
+    outcome_charges: float
+    wallets_audited: int
+    wallet_ledger_mismatches: int
+
+    @property
+    def exact(self) -> bool:
+        """Whether every conservation identity held bitwise."""
+        return (self.query_payments == self.outcome_charges
+                and self.wallet_ledger_mismatches == 0)
+
+
+@dataclass(frozen=True)
+class SchemeResilience:
+    """One scheme's paired clean/shocked cells plus the shocked audit."""
+
+    baseline: TenantCellResult
+    shocked: TenantCellResult
+    audit: Optional[ConservationAudit]
+
+    @property
+    def scheme(self) -> str:
+        """The scheme both cells ran."""
+        return self.shocked.config.scheme
+
+    @property
+    def cost_ratio(self) -> float:
+        """Shocked operating cost over baseline (1.0 = unaffected)."""
+        base = self.baseline.summary.operating_cost
+        if base == 0.0:
+            return float("inf") if self.shocked.summary.operating_cost else 1.0
+        return self.shocked.summary.operating_cost / base
+
+
+def baseline_config(config: TenantExperimentConfig) -> TenantExperimentConfig:
+    """The clean twin of a shocked cell: same population, chaos stripped.
+
+    Shocks and the strict-maintenance shutdown policy are the fault
+    knobs; everything else — tiers included, they shape the population
+    itself — stays, so the pair differs only by the injected faults.
+    """
+    return replace(config, shocks=(), strict_maintenance=False)
+
+
+def audited_shock_cell(
+        config: TenantExperimentConfig,
+) -> Tuple[TenantCellResult, Optional[ConservationAudit]]:
+    """Run one shocked cell and audit conservation on the live engine.
+
+    Mirrors :func:`repro.experiments.tenants.run_tenant_cell` step for
+    step (the cell result is bitwise identical to it) but keeps the
+    scheme in hand so the provider account, outcomes, and wallet ledgers
+    can be folded before they are thrown away. The bypass baseline has
+    no economy, so its audit is ``None``.
+    """
+    populated = build_population(config)
+    system = CloudSystem()
+    registry: Optional[TenantRegistry] = None
+    if config.scheme == "bypass":
+        scheme = system.scheme(config.scheme)
+    else:
+        registry = TenantRegistry()
+        registry.register_all(populated.profiles)
+        scheme = system.scheme(
+            config.scheme, economic_config=EconomicSchemeConfig(
+                economy=EconomyConfig(
+                    planning=config.planning,
+                    strict_maintenance=config.strict_maintenance,
+                ),
+                tenants=registry,
+            )
+        )
+    simulation = CloudSimulation(
+        scheme, SimulationConfig(
+            warmup_queries=config.warmup_queries,
+            settlement_period_s=config.settlement_period_s,
+        )
+    )
+    result = simulation.run(
+        populated.queries,
+        tenant_lifecycle=populated.lifecycle,
+        shock_events=compile_shock_events(config.shocks, populated.queries),
+    )
+
+    audit: Optional[ConservationAudit] = None
+    if registry is not None:
+        engine = scheme.engine
+        banked = engine.account.totals_by_category().get(
+            CloudAccount.CATEGORY_QUERY_PAYMENT, 0.0)
+        charged = 0.0
+        for outcome in engine.outcomes:
+            charged += outcome.charge
+        mismatches = sum(
+            1 for state in registry.states()
+            if ledger_fold(state.account) != state.account.credit
+        )
+        audit = ConservationAudit(
+            query_payments=banked,
+            outcome_charges=charged,
+            wallets_audited=len(registry),
+            wallet_ledger_mismatches=mismatches,
+        )
+
+    wallets: Tuple[Tuple[str, float], ...] = ()
+    if registry is not None:
+        wallets = tuple(registry.credit_by_tenant().items())
+    cell = TenantCellResult(
+        config=config,
+        summary=result.summary,
+        tenants=sorted_breakdowns(result.steps),
+        wallet_credit=wallets,
+        population_size=populated.tenant_count,
+        churn_waves=populated.churn_waves,
+    )
+    return cell, audit
+
+
+def _resilience_pair(config: TenantExperimentConfig) -> SchemeResilience:
+    """Worker entry point: one scheme's clean + shocked + audit."""
+    clean = run_tenant_cell(baseline_config(config))
+    shocked, audit = audited_shock_cell(config)
+    return SchemeResilience(baseline=clean, shocked=shocked, audit=audit)
+
+
+def run_shock_resilience(configs: Sequence[TenantExperimentConfig],
+                         jobs: Optional[int] = None) -> List[SchemeResilience]:
+    """Run paired clean/shocked cells for every config (typically one per
+    scheme), optionally fanned over worker processes.
+
+    Args:
+        configs: the *shocked* cells (their ``shocks`` field is the fault
+            sequence; the clean twin is derived with
+            :func:`baseline_config`).
+        jobs: worker processes; ``None`` or 1 runs sequentially. Each
+            pair is deterministic, so the parallel results are
+            byte-identical and come back in ``configs`` order.
+    """
+    cells = list(configs)
+    if not cells:
+        raise ExperimentError("at least one shocked cell is required")
+    for config in cells:
+        if not config.shocks and not config.strict_maintenance:
+            raise ExperimentError(
+                f"cell for scheme {config.scheme!r} injects no faults "
+                f"(no shocks, strict_maintenance off); a resilience pair "
+                f"needs at least one"
+            )
+    worker_count = 1 if jobs is None else int(jobs)
+    if worker_count < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if worker_count == 1 or len(cells) == 1:
+        return [_resilience_pair(config) for config in cells]
+    with ProcessPoolExecutor(
+            max_workers=min(worker_count, len(cells))) as executor:
+        return list(executor.map(_resilience_pair, cells))
+
+
+# -- tables --------------------------------------------------------------------
+
+
+def _conservation_cell(audit: Optional[ConservationAudit]) -> str:
+    if audit is None:
+        return "n/a"
+    if audit.exact:
+        return "exact"
+    return f"VIOLATED ({audit.query_payments!r} != {audit.outcome_charges!r})"
+
+
+def shock_resilience_table(results: Sequence[SchemeResilience]) -> str:
+    """The scheme-resilience table: clean versus shocked, one row per scheme.
+
+    The conservation column is the shocked run's bitwise audit — any
+    value other than ``exact`` (or ``n/a`` for the economy-less bypass
+    baseline) is a correctness failure, not noise.
+    """
+    headers = ["scheme", "cost", "cost+shocks", "cost x", "hit", "hit+shocks",
+               "p95_s+shocks", "evictions+shocks", "conservation"]
+    rows: List[List[object]] = []
+    for item in results:
+        base, shocked = item.baseline.summary, item.shocked.summary
+        rows.append([
+            item.scheme,
+            base.operating_cost,
+            shocked.operating_cost,
+            item.cost_ratio,
+            base.cache_hit_rate,
+            shocked.cache_hit_rate,
+            shocked.p95_response_time_s,
+            shocked.evictions,
+            _conservation_cell(item.audit),
+        ])
+    return format_table(headers, rows,
+                        title="Scheme resilience under market shocks")

@@ -34,6 +34,13 @@ from repro.simulator.metrics import MetricsSummary, TenantBreakdown
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.grammar import (
+    ScenarioGrammar,
+    ShockSpec,
+    TenantTier,
+    apply_tenant_tiers,
+    compile_shock_events,
+)
 from repro.workload.population import (
     PopulatedWorkload,
     PopulationSpec,
@@ -61,6 +68,10 @@ class TenantExperimentConfig:
     warmup_queries: int = 0
     settlement_period_s: Optional[float] = None
     planning: str = PLANNING_SCALAR
+    shocks: Tuple[ShockSpec, ...] = ()
+    tenant_tiers: Tuple[TenantTier, ...] = ()
+    strict_maintenance: bool = False
+    grammar: Optional[ScenarioGrammar] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEME_NAMES:
@@ -116,9 +127,26 @@ class TenantCellResult:
 
 
 def build_population(config: TenantExperimentConfig) -> PopulatedWorkload:
-    """Generate the populated workload a cell replays (deterministic)."""
-    workload = WorkloadGenerator(config.workload_spec()).generate()
-    return TenantPopulation(config.population_spec()).populate(workload)
+    """Generate the populated workload a cell replays (deterministic).
+
+    Shared by the plain, sharded, and partitioned execution paths, so
+    every mode sees the identical population — including the SLA-tier
+    rewrite when the config carries ``tenant_tiers``, and the
+    grammar-composed query stream (weighted classes, flash crowds) when
+    it carries a ``grammar``.
+    """
+    if config.grammar is not None:
+        compiled = config.grammar.compile(
+            query_count=config.query_count,
+            interarrival_s=config.interarrival_s,
+            seed=config.seed,
+        )
+        workload = list(compiled.queries)
+    else:
+        workload = WorkloadGenerator(config.workload_spec()).generate()
+    populated = TenantPopulation(config.population_spec()).populate(workload)
+    return apply_tenant_tiers(populated, config.tenant_tiers,
+                              seed=config.seed)
 
 
 def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
@@ -139,7 +167,10 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
         registry.register_all(populated.profiles)
         scheme = system.scheme(
             config.scheme, economic_config=EconomicSchemeConfig(
-                economy=EconomyConfig(planning=config.planning),
+                economy=EconomyConfig(
+                    planning=config.planning,
+                    strict_maintenance=config.strict_maintenance,
+                ),
                 tenants=registry,
             )
         )
@@ -149,8 +180,11 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
             settlement_period_s=config.settlement_period_s,
         )
     )
-    result = simulation.run(populated.queries,
-                            tenant_lifecycle=populated.lifecycle)
+    result = simulation.run(
+        populated.queries,
+        tenant_lifecycle=populated.lifecycle,
+        shock_events=compile_shock_events(config.shocks, populated.queries),
+    )
 
     breakdowns = sorted_breakdowns(result.steps)
     wallets: Tuple[Tuple[str, float], ...] = ()

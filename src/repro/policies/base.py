@@ -91,9 +91,56 @@ class CachingScheme(abc.ABC):
         """
         return None
 
+    #: Current provider price multiplier (see :meth:`apply_price_shock`).
+    _price_factor: float = 1.0
+
     def maintenance_rate(self) -> float:
-        """Current $ per second of storage and node uptime the scheme pays."""
-        return self.cache.maintenance_rate_total()
+        """Current $ per second of storage and node uptime the scheme pays.
+
+        Scaled by the active provider price-shock factor: a shock
+        reprices the provider's ongoing maintenance bill, not just new
+        builds.
+        """
+        return self.cache.maintenance_rate_total() * self._price_factor
+
+    def apply_invalidation(self, predicate: str, now: float) -> Tuple:
+        """Destroy cached structures whose key contains ``predicate``.
+
+        The default walks the scheme's cache in insertion order and
+        evicts every match (an empty predicate matches everything),
+        returning the eviction records so the caller can book the
+        losses. Invalidation moves no money — schemes must re-earn the
+        lost structures through their normal admission path.
+        """
+        matching = [entry.structure.key for entry in self.cache.entries
+                    if predicate in entry.structure.key]
+        records = []
+        for key in matching:
+            record = self.cache.evict(key, now=now, reason="invalidated")
+            if record is not None:
+                records.append(record)
+        return tuple(records)
+
+    def apply_price_shock(self, factor: float, now: float) -> None:
+        """Reprice provider build/maintenance by ``factor`` from ``now`` on."""
+        self._price_factor = factor
+
+    def apply_budget_squeeze(self, factor: float, now: float) -> None:
+        """Scale tenant willingness-to-pay by ``factor``; default: no-op.
+
+        Only schemes with an economy have budgets to squeeze; the bypass
+        baseline charges nothing and ignores the event.
+        """
+
+    def enforce_maintenance(self, now: float) -> Tuple:
+        """Apply the scheme's maintenance-shutdown policy, if any.
+
+        Called at every settlement. Schemes running a strict-maintenance
+        economy evict their lowest-benefit structures when accrued
+        maintenance exceeds income and return the eviction records; the
+        default keeps everything.
+        """
+        return ()
 
     def eviction_loss(self, record) -> float:
         """Dollar loss one eviction record contributes to this scheme's metrics.

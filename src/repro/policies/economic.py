@@ -119,6 +119,23 @@ class EconomicScheme(CachingScheme):
                        settlement_period_s: Optional[float] = None) -> None:
         self._engine.prime_queries(queries, settlement_period_s)
 
+    # -- market shocks ---------------------------------------------------------
+
+    def apply_invalidation(self, predicate: str, now: float):
+        # The engine also invalidates the plan enumerator's generation so
+        # batched plan tables rebuild, and clears its pricing memos.
+        return self._engine.invalidate_structures(predicate, now)
+
+    def apply_price_shock(self, factor: float, now: float) -> None:
+        super().apply_price_shock(factor, now)
+        self._engine.apply_price_shock(factor)
+
+    def apply_budget_squeeze(self, factor: float, now: float) -> None:
+        self._engine.apply_budget_squeeze(factor)
+
+    def enforce_maintenance(self, now: float):
+        return self._engine.enforce_maintenance(now)
+
 
 def _step_from_outcome(outcome: QueryOutcome) -> SchemeStep:
     """Translate an economy outcome into the scheme-level step record."""

@@ -40,6 +40,7 @@ from repro.simulator.events import MaintenanceSettlementEvent, QueryArrivalEvent
 from repro.simulator.metrics import MetricsSummary, TenantBreakdown
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
+from repro.workload.grammar import compile_shock_events
 
 
 @dataclass(frozen=True)
@@ -153,7 +154,10 @@ class ShardWorker:
             scheme = system.scheme(
                 config.scheme,
                 economic_config=EconomicSchemeConfig(
-                    economy=EconomyConfig(planning=config.planning),
+                    economy=EconomyConfig(
+                        planning=config.planning,
+                        strict_maintenance=config.strict_maintenance,
+                    ),
                     tenants=registry,
                 ),
             )
@@ -165,9 +169,16 @@ class ShardWorker:
             warmup_queries=config.warmup_queries,
             settlement_period_s=config.settlement_period_s,
         ))
-        result = simulation.run(populated.queries,
-                                tenant_lifecycle=populated.lifecycle,
-                                observers=observers)
+        # Shock events replicate with the rest of the stream: every shard
+        # compiles the identical events from the shared frozen config, so
+        # the replicated trajectory stays bitwise identical under faults.
+        result = simulation.run(
+            populated.queries,
+            tenant_lifecycle=populated.lifecycle,
+            observers=observers,
+            shock_events=compile_shock_events(config.shocks,
+                                              populated.queries),
+        )
 
         checkpoints: Tuple[SettlementCheckpoint, ...] = ()
         if recorder is not None:

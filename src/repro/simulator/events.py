@@ -16,9 +16,15 @@ order** so that runs are reproducible regardless of scheduling order:
 3. :class:`MaintenanceSettlementEvent` (priority 10) — storage/uptime is
    settled up to the instant *before* simultaneous queries can change
    what is built.
-4. :class:`StructureFailureCheckEvent` (priority 20) — failed structures
+4. Market-shock events — :class:`StructureInvalidationEvent`
+   (priority 12), :class:`ProviderPriceShockEvent` (priority 14) and
+   :class:`TenantBudgetSqueezeEvent` (priority 16) — dispatch *after*
+   the settlement at the same instant (maintenance accrued before the
+   shock settles at pre-shock rates) but *before* failure checks and
+   queries, so a simultaneous arrival already sees the shocked market.
+5. :class:`StructureFailureCheckEvent` (priority 20) — failed structures
    are released before a simultaneous arrival could be served by them.
-5. :class:`QueryArrivalEvent` (priority 30) — queries run last.
+6. :class:`QueryArrivalEvent` (priority 30) — queries run last.
 
 Unclassified :class:`Event` subclasses default to priority 40 and
 dispatch after the built-ins. Events with equal time and equal priority
@@ -132,6 +138,73 @@ class MaintenanceSettlementEvent(Event):
         if self.period_s is not None and self.period_s <= 0:
             raise SimulationError(
                 f"period_s must be positive, got {self.period_s}"
+            )
+
+
+@dataclass(frozen=True)
+class StructureInvalidationEvent(Event):
+    """A fault destroying cached structures mid-run.
+
+    Models data updates, node loss, or operator intervention: every
+    cached structure whose key contains ``predicate`` (empty string
+    matches everything) is evicted and must be *re-earned* through the
+    normal admission path. Invalidation moves no money — unrecovered
+    build cost and unbilled maintenance surface as eviction-loss
+    metrics, never as account transfers — so credit conservation is
+    untouched by construction.
+    """
+
+    priority: ClassVar[int] = 12
+
+    predicate: str = ""
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ProviderPriceShockEvent(Event):
+    """The provider reprices storage/build by ``factor`` from this instant.
+
+    A shock window is a *pair* of events: an onset with ``factor != 1``
+    and a relief event with ``factor == 1.0`` at the window's end, so the
+    piecewise-exact maintenance integral (settled at every event) never
+    spans a rate change. Tenants still pay catalog prices — the shock
+    scales what the *provider* pays to build and maintain, which is what
+    squeezes marginal structures out of profitability.
+    """
+
+    priority: ClassVar[int] = 14
+
+    factor: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise SimulationError(
+                f"price shock factor must be positive, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantBudgetSqueezeEvent(Event):
+    """Every tenant's willingness-to-pay scales by ``factor``.
+
+    Like :class:`ProviderPriceShockEvent`, squeezes are windows expressed
+    as an onset/relief event pair (relief carries ``factor == 1.0``).
+    Budgets scale at offer time, so charges keep mirroring into tenant
+    wallets and conservation stays exact.
+    """
+
+    priority: ClassVar[int] = 16
+
+    factor: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise SimulationError(
+                f"budget squeeze factor must be positive, got {self.factor}"
             )
 
 

@@ -23,9 +23,12 @@ from repro.policies.base import CachingScheme
 from repro.simulator.events import (
     Event,
     MaintenanceSettlementEvent,
+    ProviderPriceShockEvent,
     QueryArrivalEvent,
     StructureFailureCheckEvent,
+    StructureInvalidationEvent,
     TenantArrivalEvent,
+    TenantBudgetSqueezeEvent,
     TenantChurnEvent,
     WorkloadPhaseChangeEvent,
 )
@@ -55,6 +58,7 @@ class SchemeTenant:
         self._phase_changes = 0
         self._tenant_arrivals = 0
         self._tenant_churns = 0
+        self._shock_events = 0
 
     # -- introspection ---------------------------------------------------------
 
@@ -88,6 +92,11 @@ class SchemeTenant:
         """Tenant churn events observed so far."""
         return self._tenant_churns
 
+    @property
+    def shock_events_seen(self) -> int:
+        """Market-shock events (invalidation/price/budget) observed so far."""
+        return self._shock_events
+
     # -- wiring ----------------------------------------------------------------
 
     def register(self, kernel: SimulationKernel) -> None:
@@ -98,6 +107,9 @@ class SchemeTenant:
         kernel.register(WorkloadPhaseChangeEvent, self.on_phase_change)
         kernel.register(TenantArrivalEvent, self.on_tenant_arrival)
         kernel.register(TenantChurnEvent, self.on_tenant_churn)
+        kernel.register(StructureInvalidationEvent, self.on_invalidation)
+        kernel.register(ProviderPriceShockEvent, self.on_price_shock)
+        kernel.register(TenantBudgetSqueezeEvent, self.on_budget_squeeze)
 
     # -- handlers --------------------------------------------------------------
 
@@ -111,8 +123,48 @@ class SchemeTenant:
             self._collector.record_step(step)
 
     def on_settlement(self, event: Event, kernel: SimulationKernel) -> None:
-        """Charge maintenance accrued since the last settlement."""
+        """Charge maintenance accrued since the last settlement.
+
+        Settlement is also where the strict-maintenance shutdown policy
+        runs (a no-op for schemes without one): accrual is compared with
+        income and the lowest-benefit structures are shut down first.
+        """
         self._settle(event.time_s)
+        records = self._scheme.enforce_maintenance(event.time_s)
+        if records and self._processed >= self._warmup:
+            self._collector.record_kernel_evictions(
+                records, loss_of=self._scheme.eviction_loss)
+
+    def on_invalidation(self, event: Event, kernel: SimulationKernel) -> None:
+        """Destroy matching cached structures mid-run (settle first).
+
+        The losses are booked exactly like kernel failure evictions; the
+        scheme must re-earn the structures through its normal admission
+        path. No money moves.
+        """
+        assert isinstance(event, StructureInvalidationEvent)
+        self._settle(event.time_s)
+        self._shock_events += 1
+        records = self._scheme.apply_invalidation(event.predicate,
+                                                  event.time_s)
+        if records and self._processed >= self._warmup:
+            self._collector.record_kernel_evictions(
+                records, loss_of=self._scheme.eviction_loss)
+
+    def on_price_shock(self, event: Event, kernel: SimulationKernel) -> None:
+        """Reprice the provider market (maintenance settles at the old rate
+        first — the event boundary keeps the integral piecewise-exact)."""
+        assert isinstance(event, ProviderPriceShockEvent)
+        self._settle(event.time_s)
+        self._shock_events += 1
+        self._scheme.apply_price_shock(event.factor, event.time_s)
+
+    def on_budget_squeeze(self, event: Event, kernel: SimulationKernel) -> None:
+        """Scale tenant willingness-to-pay from this instant on."""
+        assert isinstance(event, TenantBudgetSqueezeEvent)
+        self._settle(event.time_s)
+        self._shock_events += 1
+        self._scheme.apply_budget_squeeze(event.factor, event.time_s)
 
     def on_failure_check(self, event: Event, kernel: SimulationKernel) -> None:
         """Release idle-failed structures (after settling up to now).

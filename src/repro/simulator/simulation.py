@@ -96,7 +96,8 @@ def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
                  config: SimulationConfig,
                  phase_changes: Sequence = (),
                  tenant_lifecycle: Sequence = (),
-                 observers: Sequence = ()) -> Dict[str, SimulationResult]:
+                 observers: Sequence = (),
+                 shock_events: Sequence = ()) -> Dict[str, SimulationResult]:
     """Shared kernel assembly: run ``schemes`` over one workload and clock."""
     query_list = list(queries)
     if not query_list:
@@ -157,6 +158,11 @@ def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
         kernel.schedule(event_type(
             time_s=marker.time_s, tenant_id=marker.tenant_id,
         ))
+    # Market-shock events (already-instantiated Event objects, e.g. from
+    # repro.workload.grammar.compile_shock_events) are scheduled as-is;
+    # the compiler clamps them to the arrival span, so none outlives the
+    # run horizon.
+    kernel.schedule_all(shock_events)
     # Periodic events are clamped to the run horizon: an initial occurrence
     # past end_s would extend the measured duration beyond the documented
     # count * interarrival invariant (the rescheduler caps follow-ups the
@@ -203,7 +209,8 @@ class CloudSimulation:
     def run(self, queries: Sequence[Query],
             phase_changes: Sequence = (),
             tenant_lifecycle: Sequence = (),
-            observers: Sequence = ()) -> SimulationResult:
+            observers: Sequence = (),
+            shock_events: Sequence = ()) -> SimulationResult:
         """Process all queries in arrival order and return the result.
 
         Args:
@@ -219,11 +226,16 @@ class CloudSimulation:
                 on the kernel after all built-in handlers; read-only hooks
                 used e.g. by :mod:`repro.sharding` to snapshot state at
                 settlement boundaries.
+            shock_events: optional market-shock events (see
+                :mod:`repro.workload.grammar`) injected into the run —
+                invalidations, provider price shocks, tenant budget
+                squeezes.
         """
         results = _run_tenants([self._scheme], queries, self._config,
                                phase_changes=phase_changes,
                                tenant_lifecycle=tenant_lifecycle,
-                               observers=observers)
+                               observers=observers,
+                               shock_events=shock_events)
         return results[self._scheme.name]
 
 
@@ -254,12 +266,14 @@ class MultiSchemeSimulation:
     def run(self, queries: Sequence[Query],
             phase_changes: Sequence = (),
             tenant_lifecycle: Sequence = (),
-            observers: Sequence = ()) -> Dict[str, SimulationResult]:
+            observers: Sequence = (),
+            shock_events: Sequence = ()) -> Dict[str, SimulationResult]:
         """Run every scheme over ``queries``; results keyed by scheme name."""
         return _run_tenants(self._schemes, queries, self._config,
                             phase_changes=phase_changes,
                             tenant_lifecycle=tenant_lifecycle,
-                            observers=observers)
+                            observers=observers,
+                            shock_events=shock_events)
 
 
 def run_scheme(scheme: CachingScheme, queries: Iterable[Query],

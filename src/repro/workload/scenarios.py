@@ -292,12 +292,20 @@ def drifting_mix_workload(spec: WorkloadSpec,
 
 @dataclass(frozen=True)
 class ScenarioWorkload:
-    """A named, fully generated scenario: queries plus phase boundaries."""
+    """A named, fully generated scenario: queries plus phase boundaries.
+
+    ``shocks`` carries the scenario's market-shock specs (see
+    :mod:`repro.workload.grammar`) — empty for the arrival-shape
+    families, populated by the adversarial ``shocks`` family. Callers
+    compile them against the generated queries with
+    :func:`~repro.workload.grammar.compile_shock_events`.
+    """
 
     name: str
     queries: Tuple[Query, ...]
     phase_changes: Tuple[PhaseChange, ...]
     description: str = ""
+    shocks: Tuple[object, ...] = ()
 
     @property
     def query_count(self) -> int:
@@ -307,7 +315,7 @@ class ScenarioWorkload:
 
 #: Names accepted by :func:`build_scenario` (and the CLI ``scenario`` command).
 SCENARIO_NAMES = ("fixed", "poisson", "bursty", "diurnal", "phase-shift",
-                  "mix-drift")
+                  "mix-drift", "shocks")
 
 
 def _scenario_process(name: str, interarrival_s: float, seed: int,
@@ -363,6 +371,20 @@ def build_scenario(name: str, query_count: int = 400,
         )
     spec = WorkloadSpec(query_count=query_count, interarrival_s=interarrival_s,
                         seed=seed)
+    if name == "shocks":
+        # Imported lazily: the grammar builds on this module's siblings
+        # and keeping the registry import-light avoids a startup cycle.
+        from repro.workload.grammar import build_shock_scenario
+
+        compiled = build_shock_scenario(
+            query_count=query_count, interarrival_s=interarrival_s, seed=seed)
+        return ScenarioWorkload(
+            name=name,
+            queries=compiled.queries,
+            phase_changes=compiled.phase_changes,
+            description=compiled.description,
+            shocks=compiled.shocks,
+        )
     if name == "mix-drift":
         names = [template.name for template in paper_templates()]
         # Three overlapping template pools: the mix drifts but never jumps

@@ -97,6 +97,64 @@ def test_engine_stream_ledger_and_regret_bitwise_equal(
              settlement_period_s)
 
 
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    query_count=st.integers(min_value=4, max_value=60),
+    invalidate_after=st.integers(min_value=1, max_value=59),
+    predicate=st.sampled_from(["", "index", "lineitem"]),
+    enum_config=enumerator_configs,
+)
+def test_mid_run_invalidation_stays_bitwise_equal(
+        execution_model, structure_costs, seed, query_count,
+        invalidate_after, predicate, enum_config):
+    """A mid-run invalidation (generation bump, memo drop, re-pricing)
+    must leave the batched planner bitwise equal to the scalar one."""
+
+    def make(planning):
+        return EconomyEngine(
+            enumerator=PlanEnumerator(execution_model,
+                                      candidate_indexes=CANDIDATES,
+                                      config=enum_config),
+            structure_costs=structure_costs,
+            cache=CacheManager(CacheConfig()),
+            config=EconomyConfig(planning=planning),
+        )
+
+    queries = WorkloadGenerator(WorkloadSpec(
+        query_count=query_count, interarrival_s=2.0, seed=seed,
+    )).generate()
+    cut = min(invalidate_after, query_count - 1)
+    scalar = make("scalar")
+    batched = make("batched")
+    batched.prime_queries(queries, settlement_period_s=None)
+    for index, query in enumerate(queries):
+        if index == cut:
+            now = query.arrival_time
+            scalar_records = scalar.invalidate_structures(predicate, now)
+            batched_records = batched.invalidate_structures(predicate, now)
+            assert ([r.key for r in scalar_records]
+                    == [r.key for r in batched_records])
+        outcome = error = None
+        try:
+            outcome = scalar.process_query(query)
+        except PlanningError as exc:
+            error = str(exc)
+        try:
+            batched_outcome = batched.process_query(query)
+        except PlanningError as exc:
+            assert error == str(exc)
+        else:
+            assert error is None
+            assert outcome == batched_outcome, (
+                f"outcome diverged at query {query.query_id}"
+            )
+    assert scalar.account.transactions == batched.account.transactions
+    assert scalar.regret_tracker.ranked() == batched.regret_tracker.ranked()
+    assert scalar.cache.built_keys == batched.cache.built_keys
+
+
 @settings(max_examples=5, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=255),

@@ -1,0 +1,309 @@
+"""Tests for the adversarial scenario grammar (repro.workload.grammar)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.simulator.events import (
+    ProviderPriceShockEvent,
+    StructureInvalidationEvent,
+    TenantBudgetSqueezeEvent,
+)
+from repro.workload.grammar import (
+    BudgetSqueeze,
+    FlashCrowd,
+    GrammarDegeneracyWarning,
+    InvalidationShock,
+    PriceShock,
+    QueryClass,
+    ScenarioGrammar,
+    TenantTier,
+    apply_tenant_tiers,
+    build_shock_scenario,
+    compile_shock_events,
+    default_shock_grammar,
+    parse_query_class,
+    parse_shock,
+)
+from repro.workload.population import PopulationSpec, TenantPopulation
+
+
+PRICING = QueryClass(name="pricing", weight=3.0,
+                     templates=("q1_pricing_summary", "q19_discounted_revenue"))
+SHIPPING = QueryClass(name="shipping", weight=1.0,
+                      templates=("q3_shipping_priority",))
+
+
+class TestProductionValidation:
+    def test_query_class_requires_a_name_and_templates(self):
+        with pytest.raises(WorkloadError):
+            QueryClass(name="", templates=("q1_pricing_summary",))
+        with pytest.raises(WorkloadError):
+            QueryClass(name="empty", templates=())
+        with pytest.raises(WorkloadError):
+            QueryClass(name="neg", templates=("q1_pricing_summary",),
+                       weight=-1.0)
+
+    def test_zero_weight_class_is_legal_to_declare(self):
+        cls = QueryClass(name="zero", templates=("q1_pricing_summary",),
+                         weight=0.0)
+        assert cls.weight == 0.0
+
+    def test_flash_crowd_window_validation(self):
+        with pytest.raises(WorkloadError):
+            FlashCrowd(at_fraction=1.0, duration_fraction=0.1)
+        with pytest.raises(WorkloadError):
+            FlashCrowd(at_fraction=0.5, duration_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            FlashCrowd(at_fraction=0.5, duration_fraction=0.1, intensity=0.0)
+
+    def test_tenant_tier_validation(self):
+        with pytest.raises(WorkloadError):
+            TenantTier(name="", weight=1.0)
+        with pytest.raises(WorkloadError):
+            TenantTier(name="gold", weight=-1.0)
+        with pytest.raises(WorkloadError):
+            TenantTier(name="gold", weight=1.0, budget_multiplier=0.0)
+        with pytest.raises(WorkloadError):
+            TenantTier(name="gold", weight=1.0, credit_multiplier=-0.5)
+
+    def test_shock_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            InvalidationShock(at_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            PriceShock(at_fraction=0.5, duration_fraction=0.0, factor=2.0)
+        with pytest.raises(WorkloadError):
+            PriceShock(at_fraction=0.5, duration_fraction=0.1, factor=0.0)
+        with pytest.raises(WorkloadError):
+            BudgetSqueeze(at_fraction=0.5, duration_fraction=0.1, factor=-1.0)
+
+
+class TestShockDsl:
+    def test_parses_every_kind(self):
+        assert parse_shock("invalidate@0.35:index") == InvalidationShock(
+            at_fraction=0.35, predicate="index")
+        assert parse_shock("invalidate@0.5") == InvalidationShock(
+            at_fraction=0.5, predicate="")
+        assert parse_shock("price@0.5:0.2:3.0") == PriceShock(
+            at_fraction=0.5, duration_fraction=0.2, factor=3.0)
+        assert parse_shock("squeeze@0.65:0.25:0.5") == BudgetSqueeze(
+            at_fraction=0.65, duration_fraction=0.25, factor=0.5)
+
+    @pytest.mark.parametrize("text", [
+        "invalidate",                 # no @FRACTION
+        "invalidate@",                # empty fraction
+        "invalidate@x",               # non-numeric fraction
+        "invalidate@0.1:a:b",         # too many parts
+        "price@0.5",                  # missing duration/factor
+        "price@0.5:x:2.0",            # non-numeric duration
+        "squeeze@0.5:0.1:huge",       # non-numeric factor
+        "boom@0.5:0.1:2.0",           # unknown kind
+        "price@0.5:0.1:0",            # spec-level validation (factor > 0)
+    ])
+    def test_malformed_shocks_raise(self, text):
+        with pytest.raises(WorkloadError):
+            parse_shock(text)
+
+    def test_parses_a_query_class(self):
+        cls = parse_query_class(
+            "pricing:3:q1_pricing_summary+q19_discounted_revenue")
+        assert cls == PRICING
+
+    @pytest.mark.parametrize("text", [
+        "pricing:3",                          # wrong arity
+        "pricing:heavy:q1_pricing_summary",   # non-numeric weight
+        "pricing:3:",                         # no templates
+        "pricing:3:q999_nonsense",            # unknown template
+    ])
+    def test_malformed_query_classes_raise(self, text):
+        with pytest.raises(WorkloadError):
+            parse_query_class(text)
+
+
+class TestCompile:
+    GRAMMAR = ScenarioGrammar(classes=(PRICING, SHIPPING))
+
+    def test_same_seed_compiles_byte_identically(self):
+        first = self.GRAMMAR.compile(query_count=80, interarrival_s=2.0,
+                                     seed=7)
+        second = self.GRAMMAR.compile(query_count=80, interarrival_s=2.0,
+                                      seed=7)
+        assert first == second
+        assert first.queries == second.queries
+
+    def test_distinct_seeds_compile_distinct_streams(self):
+        first = self.GRAMMAR.compile(query_count=80, seed=7)
+        second = self.GRAMMAR.compile(query_count=80, seed=8)
+        assert first.queries != second.queries
+
+    def test_stream_shape(self):
+        compiled = self.GRAMMAR.compile(query_count=60, interarrival_s=3.0,
+                                        seed=1)
+        assert compiled.query_count == 60
+        assert [q.query_id for q in compiled.queries] == list(range(60))
+        arrivals = [q.arrival_time for q in compiled.queries]
+        assert arrivals == sorted(arrivals)
+
+    def test_class_weights_shape_the_mix(self):
+        compiled = self.GRAMMAR.compile(query_count=300, seed=3)
+        pricing_templates = set(PRICING.templates)
+        pricing = sum(1 for q in compiled.queries
+                      if q.template_name in pricing_templates)
+        shipping = sum(1 for q in compiled.queries
+                       if q.template_name in SHIPPING.templates)
+        assert pricing + shipping == 300
+        assert pricing > shipping  # weight 3 vs 1
+
+    def test_flash_crowd_compresses_arrivals_and_marks_phases(self):
+        calm = self.GRAMMAR.compile(query_count=100, interarrival_s=10.0,
+                                    seed=5)
+        crowded = ScenarioGrammar(
+            classes=(PRICING, SHIPPING),
+            crowds=(FlashCrowd(at_fraction=0.2, duration_fraction=0.3,
+                               intensity=5.0),),
+        ).compile(query_count=100, interarrival_s=10.0, seed=5)
+        assert (crowded.queries[-1].arrival_time
+                < calm.queries[-1].arrival_time)
+        labels = [change.label for change in crowded.phase_changes]
+        assert labels == ["flash-crowd", "crowd-end"]
+
+    def test_composition_is_associative(self):
+        a = ScenarioGrammar(classes=(PRICING,))
+        b = ScenarioGrammar(classes=(SHIPPING,),
+                            shocks=(InvalidationShock(at_fraction=0.5),))
+        c = ScenarioGrammar(
+            tiers=(TenantTier(name="gold", weight=1.0),),
+            crowds=(FlashCrowd(at_fraction=0.1, duration_fraction=0.1),),
+        )
+        left = (a | b) | c
+        right = a | (b | c)
+        assert left == right
+        assert (left.compile(query_count=50, seed=2)
+                == right.compile(query_count=50, seed=2))
+
+    def test_zero_weight_classes_drop_with_a_warning(self):
+        zero = QueryClass(name="ghost", weight=0.0,
+                          templates=("q6_forecast_revenue",))
+        grammar = ScenarioGrammar(classes=(PRICING, zero))
+        with pytest.warns(GrammarDegeneracyWarning, match="ghost"):
+            compiled = grammar.compile(query_count=40, seed=1)
+        ghost = [q for q in compiled.queries
+                 if q.template_name == "q6_forecast_revenue"]
+        assert not ghost
+
+    def test_classless_grammar_falls_back_to_all_templates(self):
+        grammar = ScenarioGrammar()
+        with pytest.warns(GrammarDegeneracyWarning, match="uniform"):
+            compiled = grammar.compile(query_count=40, seed=1)
+        assert compiled.query_count == 40
+
+    def test_invalid_compile_arguments_raise(self):
+        with pytest.raises(WorkloadError):
+            self.GRAMMAR.compile(query_count=0)
+        with pytest.raises(WorkloadError):
+            self.GRAMMAR.compile(query_count=10, interarrival_s=0.0)
+
+    def test_grammar_is_hashable(self):
+        assert hash(self.GRAMMAR) == hash(ScenarioGrammar(
+            classes=(PRICING, SHIPPING)))
+
+
+class TestCompileShockEvents:
+    def test_empty_stream_compiles_to_no_events(self):
+        assert compile_shock_events((InvalidationShock(at_fraction=0.5),),
+                                    ()) == ()
+
+    def test_fractions_map_onto_the_arrival_span(self):
+        compiled = ScenarioGrammar(classes=(PRICING,)).compile(
+            query_count=50, interarrival_s=4.0, seed=0)
+        first = compiled.queries[0].arrival_time
+        last = compiled.queries[-1].arrival_time
+        events = compile_shock_events(
+            (InvalidationShock(at_fraction=0.5, predicate="index"),),
+            compiled.queries)
+        assert len(events) == 1
+        assert isinstance(events[0], StructureInvalidationEvent)
+        assert events[0].time_s == pytest.approx(
+            first + 0.5 * (last - first))
+        assert events[0].predicate == "index"
+
+    def test_windowed_shocks_compile_to_onset_relief_pairs(self):
+        compiled = ScenarioGrammar(classes=(PRICING,)).compile(
+            query_count=50, interarrival_s=4.0, seed=0)
+        last = compiled.queries[-1].arrival_time
+        events = compile_shock_events(
+            (PriceShock(at_fraction=0.9, duration_fraction=0.5, factor=3.0),
+             BudgetSqueeze(at_fraction=0.2, duration_fraction=0.1,
+                           factor=0.5)),
+            compiled.queries)
+        price = [e for e in events
+                 if isinstance(e, ProviderPriceShockEvent)]
+        squeeze = [e for e in events
+                   if isinstance(e, TenantBudgetSqueezeEvent)]
+        assert [e.factor for e in price] == [3.0, 1.0]
+        assert [e.factor for e in squeeze] == [0.5, 1.0]
+        # The relief never outlives the stream: 0.9 + 0.5 clamps to the end.
+        assert price[-1].time_s == last
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+    def test_scenario_shock_events_helper_matches(self):
+        compiled = build_shock_scenario(query_count=60, seed=2)
+        assert compiled.shock_events() == compile_shock_events(
+            compiled.shocks, compiled.queries)
+
+
+class TestApplyTenantTiers:
+    TIERS = (
+        TenantTier(name="gold", weight=1.0, budget_multiplier=2.0,
+                   credit_multiplier=3.0),
+        TenantTier(name="bronze", weight=1.0, budget_multiplier=0.5,
+                   credit_multiplier=0.5),
+    )
+
+    def _population(self, small_workload):
+        spec = PopulationSpec(tenant_count=12, seed=9)
+        return TenantPopulation(spec).populate(list(small_workload))
+
+    def test_empty_tiers_is_the_identity(self, small_workload):
+        populated = self._population(small_workload)
+        assert apply_tenant_tiers(populated, ()) is populated
+
+    def test_tiers_scale_budgets_and_credit_deterministically(
+            self, small_workload):
+        populated = self._population(small_workload)
+        tiered = apply_tenant_tiers(populated, self.TIERS, seed=4)
+        again = apply_tenant_tiers(populated, self.TIERS, seed=4)
+        assert tiered.profiles == again.profiles
+        assert tiered.queries == populated.queries
+        assert tiered.lifecycle == populated.lifecycle
+        ratios = {
+            round(new.budget_multiplier / old.budget_multiplier, 12)
+            for old, new in zip(populated.profiles, tiered.profiles)
+        }
+        assert ratios <= {2.0, 0.5}
+        assert len(ratios) == 2  # both tiers actually assigned
+
+    def test_zero_total_weight_raises(self, small_workload):
+        populated = self._population(small_workload)
+        with pytest.raises(WorkloadError):
+            apply_tenant_tiers(
+                populated, (TenantTier(name="ghost", weight=0.0),))
+
+
+class TestStockGrammar:
+    def test_default_grammar_carries_the_full_fault_menu(self):
+        grammar = default_shock_grammar()
+        assert {cls.name for cls in grammar.classes} == {
+            "pricing", "shipping", "analytics"}
+        assert {tier.name for tier in grammar.tiers} == {
+            "gold", "silver", "bronze"}
+        kinds = {type(shock) for shock in grammar.shocks}
+        assert kinds == {InvalidationShock, PriceShock, BudgetSqueeze}
+
+    def test_build_shock_scenario_composes_extras(self):
+        extra = InvalidationShock(at_fraction=0.9)
+        compiled = build_shock_scenario(query_count=40, seed=1,
+                                        extra_shocks=(extra,))
+        assert compiled.shocks[-1] == extra
+        assert compiled.query_count == 40
+        assert "3 class(es)" in compiled.description
