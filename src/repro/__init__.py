@@ -32,7 +32,7 @@ from repro.distcache import (
     run_partitioned_cell,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "CloudSystem",

@@ -76,6 +76,12 @@ class CacheManager:
         # check; lets evict_failed_structures skip the scan entirely when
         # nothing can possibly have expired yet.
         self._failure_horizon: Optional[float] = None
+        # Observability sink (duck-typed TraceRecorder); None = disabled.
+        self._trace = None
+
+    def attach_trace(self, recorder) -> None:
+        """Attach a read-only trace recorder (admit/evict counters)."""
+        self._trace = recorder
 
     # -- introspection ------------------------------------------------------------
 
@@ -181,6 +187,8 @@ class CacheManager:
         self._failure_horizon = None
         self._peak_disk_used_bytes = max(self._peak_disk_used_bytes,
                                          self.disk_used_bytes)
+        if self._trace is not None:
+            self._trace.count("cache:admit")
         return evicted
 
     # -- usage and billing --------------------------------------------------------------
@@ -236,6 +244,8 @@ class CacheManager:
         self._lru.discard(key)
         self._version += 1
         self._evictions.append(record)
+        if self._trace is not None:
+            self._trace.count(f"cache:evict_{reason}")
         return record
 
     def evict_failed_structures(self, now: float) -> List[EvictionRecord]:

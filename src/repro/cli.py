@@ -54,10 +54,14 @@ modes, whose own barrier audits then pin conservation under faults.
 from __future__ import annotations
 
 import argparse
+import glob
+import os
 import sys
+import time
 import warnings
 from typing import List, Optional, Sequence
 
+from repro import __version__
 from repro.distcache import (
     PLACEMENT_MODES,
     PartitionImbalanceWarning,
@@ -96,6 +100,12 @@ from repro.experiments.tenants import (
     tenant_aggregate_table,
     top_tenant_table,
 )
+from repro.obs import (
+    TraceRecorder,
+    build_manifest,
+    write_report_artifacts,
+)
+from repro.obs.trace import kernel_observer_pair
 from repro.policies.factory import SCHEME_NAMES
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
@@ -189,6 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'An Economic Model for Self-Tuned Cloud Caching'",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     for name, help_text in (
@@ -250,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "policy: at every settlement, structures are "
                                "shut down lowest-benefit-first while accrued "
                                "maintenance exceeds query income")
+    _add_trace_arguments(scenario)
 
     tenants = subparsers.add_parser(
         "tenants",
@@ -336,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     tenants.add_argument("--strict-maintenance", action="store_true",
                          help="enable the strict-maintenance shutdown "
                               "policy at settlement boundaries")
+    _add_trace_arguments(tenants)
 
     shocks = subparsers.add_parser(
         "shocks",
@@ -398,8 +412,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="query planning path (scalar or batched; "
                              "byte-identical tables, default: scalar)")
 
+    report = subparsers.add_parser(
+        "report",
+        help="render bench JSONs (and trace JSONLs) into versioned "
+             "report artifacts")
+    report.add_argument("artifacts", nargs="*", metavar="PATH",
+                        help="BENCH_*.json files and/or *.jsonl trace "
+                             "artifacts to ingest (default: the checked-in "
+                             "BENCH_*.json files in the current directory); "
+                             "missing or legacy bench files degrade to "
+                             "warnings, never a crash")
+    report.add_argument("--out", default="report-artifacts", metavar="DIR",
+                        help="directory receiving report.json, report.md "
+                             "and report.manifest.json (default: "
+                             "report-artifacts)")
+    report.add_argument("--force", action="store_true",
+                        help="overwrite existing report artifacts")
+
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
+
+
+def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
+    """The shared ``--trace``/``--force`` pair of the traceable commands."""
+    sub.add_argument("--trace", default=None, metavar="PATH",
+                     help="record spans and counters to PATH as sorted "
+                          "JSONL, with a run manifest next to it "
+                          "(PATH.manifest.json); tracing is observation-"
+                          "only — the printed tables are byte-identical "
+                          "to the untraced run")
+    sub.add_argument("--force", action="store_true",
+                     help="overwrite an existing --trace file")
+
+
+def _validate_trace(parser: argparse.ArgumentParser,
+                    args: argparse.Namespace) -> None:
+    """Exit-2 validation of ``--trace`` (like the numeric flag types)."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        return
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        parser.error(f"argument --trace: directory {parent!r} does not exist")
+    if os.path.exists(path) and not args.force:
+        parser.error(f"argument --trace: {path!r} exists "
+                     f"(pass --force to overwrite)")
 
 
 def _figure_command(command: str, profile: ExperimentProfile, jobs: int) -> str:
@@ -419,7 +476,8 @@ def _ablation_command(which: str, queries: int) -> str:
     return format_table(ABLATION_HEADERS, rows, title=title)
 
 
-def _scenario_command(args: argparse.Namespace) -> str:
+def _scenario_command(args: argparse.Namespace,
+                      trace: Optional[TraceRecorder] = None) -> str:
     scenario = build_scenario(
         args.arrival,
         query_count=args.queries,
@@ -432,6 +490,14 @@ def _scenario_command(args: argparse.Namespace) -> str:
         economy=EconomyConfig(planning=args.planning,
                               strict_maintenance=args.strict_maintenance),
     ))
+    observers = []
+    if trace is not None:
+        scheme_engine = getattr(scheme, "engine", None)
+        if scheme_engine is not None:
+            scheme_engine.attach_trace(trace)
+        else:
+            scheme.cache.attach_trace(trace)
+        observers.append(kernel_observer_pair(trace))
     simulation = CloudSimulation(scheme, SimulationConfig(
         settlement_period_s=args.settlement_period,
         failure_check_period_s=args.failure_check_period,
@@ -439,6 +505,7 @@ def _scenario_command(args: argparse.Namespace) -> str:
     shock_events = compile_shock_events(shocks, scenario.queries)
     result = simulation.run(scenario.queries,
                             phase_changes=scenario.phase_changes,
+                            observers=observers,
                             shock_events=shock_events)
     summary = result.summary
     headers = ["metric", "value"]
@@ -498,7 +565,8 @@ def _render_warnings(caught: List[warnings.WarningMessage]) -> None:
                                    entry.filename, entry.lineno)
 
 
-def _tenants_command(args: argparse.Namespace) -> str:
+def _tenants_command(args: argparse.Namespace,
+                     trace: Optional[TraceRecorder] = None) -> str:
     names = (list(SCHEME_NAMES) if args.schemes == "all"
              else [name.strip() for name in args.schemes.split(",")
                    if name.strip()])
@@ -543,7 +611,8 @@ def _tenants_command(args: argparse.Namespace) -> str:
             reports = run_partitioned_experiment(
                 configs, partitions=args.cache_partitions, jobs=args.jobs,
                 placement=args.placement,
-                handoff_threshold=args.handoff_threshold)
+                handoff_threshold=args.handoff_threshold,
+                trace=trace)
             for report in reports:
                 sections.append(tenant_aggregate_table(report.cell))
                 if args.top > 0:
@@ -558,7 +627,7 @@ def _tenants_command(args: argparse.Namespace) -> str:
                     sections.append(placement)
         else:
             results = run_tenant_experiment(configs, jobs=args.jobs,
-                                            shards=args.shards)
+                                            shards=args.shards, trace=trace)
             for result in results:
                 sections.append(tenant_aggregate_table(result))
                 if args.top > 0:
@@ -677,6 +746,22 @@ def _shocks_command(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _report_command(args: argparse.Namespace) -> str:
+    artifacts = list(args.artifacts)
+    if not artifacts:
+        artifacts = sorted(glob.glob("BENCH_*.json"))
+    bench_paths = [path for path in artifacts
+                   if not path.endswith(".jsonl")]
+    trace_paths = [path for path in artifacts if path.endswith(".jsonl")]
+    targets = write_report_artifacts(bench_paths, args.out,
+                                     trace_paths=trace_paths,
+                                     force=args.force)
+    with open(targets["markdown"], "r", encoding="utf-8") as handle:
+        markdown = handle.read()
+    footer = "\n".join(f"wrote {path}" for _, path in sorted(targets.items()))
+    return markdown + "\n" + footer
+
+
 def _describe_command() -> str:
     system = CloudSystem()
     lines = [system.schema.describe(), ""]
@@ -689,9 +774,44 @@ def _describe_command() -> str:
     return "\n".join(lines)
 
 
+def _write_trace_artifacts(args: argparse.Namespace, trace: TraceRecorder,
+                           run_s: float) -> None:
+    """Emit the trace JSONL plus its run manifest (``PATH.manifest.json``)."""
+    emit_started = time.perf_counter()
+    trace.write(args.trace)
+    emit_s = time.perf_counter() - emit_started
+    if args.command == "tenants":
+        schemes = (list(SCHEME_NAMES) if args.schemes == "all"
+                   else [name.strip() for name in args.schemes.split(",")
+                         if name.strip()])
+    else:
+        schemes = [args.scheme]
+    config = {key: value for key, value in sorted(vars(args).items())
+              if key not in ("trace", "force")}
+    manifest = build_manifest(
+        args.command,
+        seed=args.seed,
+        config=config,
+        schemes=schemes,
+        shards=getattr(args, "shards", 1),
+        cache_partitions=getattr(args, "cache_partitions", 1),
+        placement=getattr(args, "placement", "hash"),
+        planning=args.planning,
+        phase_timings_s={"run": run_s, "emit_trace": emit_s},
+        extra={"trace_path": args.trace, "trace_events": len(trace)},
+    )
+    manifest.write(args.trace + ".manifest.json")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_trace(parser, args)
+    trace: Optional[TraceRecorder] = None
+    if getattr(args, "trace", None) is not None:
+        trace = TraceRecorder()
+    run_started = time.perf_counter()
     try:
         if args.command in ("figure4", "figure5", "headline"):
             profile = _PROFILES[args.profile].with_overrides(
@@ -701,11 +821,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "ablation":
             output = _ablation_command(args.which, args.queries)
         elif args.command == "scenario":
-            output = _scenario_command(args)
+            output = _scenario_command(args, trace=trace)
         elif args.command == "tenants":
-            output = _tenants_command(args)
+            output = _tenants_command(args, trace=trace)
         elif args.command == "shocks":
             output = _shocks_command(args)
+        elif args.command == "report":
+            output = _report_command(args)
         else:
             output = _describe_command()
     except ReproError as error:
@@ -713,6 +835,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # them like argparse does instead of dumping a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except FileExistsError as error:
+        # The report pipeline's overwrite guard (mirrors --trace's).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if trace is not None:
+        _write_trace_artifacts(args, trace, time.perf_counter() - run_started)
     print(output)
     return 0
 

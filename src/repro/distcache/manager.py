@@ -171,6 +171,8 @@ class PartitionedCacheManager(CacheManager):
                 f"{self._partition_index}")
         entry = self._entries.pop(key)
         self._lru.discard(key)
+        if self._trace is not None:
+            self._trace.count("cache:handoff_out")
         return entry
 
     def install_entry(self, entry: CacheEntry, now: float
@@ -204,4 +206,6 @@ class PartitionedCacheManager(CacheManager):
         self._lru.touch(key)
         self._peak_disk_used_bytes = max(self._peak_disk_used_bytes,
                                          self.disk_used_bytes)
+        if self._trace is not None:
+            self._trace.count("cache:handoff_in")
         return evicted

@@ -316,7 +316,8 @@ class DistCacheRunner:
                  compare_baseline: bool = True,
                  placement: str = "hash",
                  handoff_threshold: float = 0.0,
-                 anchor_period: int = DEFAULT_ANCHOR_PERIOD) -> None:
+                 anchor_period: int = DEFAULT_ANCHOR_PERIOD,
+                 trace=None) -> None:
         if partition_count < 1:
             raise DistCacheError(
                 f"partition_count must be >= 1, got {partition_count}")
@@ -342,6 +343,11 @@ class DistCacheRunner:
         self._placement = placement
         self._handoff_threshold = handoff_threshold
         self._anchor_period = anchor_period
+        # Observability sink (duck-typed TraceRecorder); None = disabled.
+        # Per-partition recorders live on the engines (travelling through
+        # the per-epoch pickle round-trips inside their schemes) and are
+        # absorbed into this recorder when a cell completes.
+        self._trace = trace
 
     @property
     def partition_count(self) -> int:
@@ -469,6 +475,14 @@ class DistCacheRunner:
         populated = build_population(config)
         queries = list(populated.queries)
         schemes = self._build_schemes(config, populated.profiles)
+        if self._trace is not None:
+            # Per-partition recorders ride inside the schemes through the
+            # per-epoch worker round-trips; absorbed after the last barrier.
+            from repro.obs.trace import TraceRecorder
+
+            for index, scheme in enumerate(schemes):
+                self._engine_of(scheme).attach_trace(
+                    TraceRecorder(source=f"partition{index}"))
         items = self._epoch_items(
             queries, populated.lifecycle,
             compile_shock_events(config.shocks, populated.queries))
@@ -565,6 +579,19 @@ class DistCacheRunner:
                 checkpoints.append(self._checkpoint(
                     schemes, barrier, epoch + 1, directory,
                     handoffs_applied=len(applied)))
+                if self._trace is not None:
+                    epoch_start = barriers[epoch - 1] if epoch else start_s
+                    self._trace.span(
+                        "settlement_barrier", start_s=epoch_start,
+                        end_s=barrier, epoch=epoch + 1,
+                        directory_entries=len(directory),
+                        directory_delta_bytes=publication.delta_bytes,
+                        handoffs_applied=len(applied), final=is_final)
+                    for record in applied:
+                        self._trace.event(
+                            "handoff", time_s=barrier, key=record.key,
+                            from_partition=record.from_partition,
+                            to_partition=record.to_partition)
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -581,6 +608,18 @@ class DistCacheRunner:
             churn_waves=populated.churn_waves,
             kernel_losses_by_partition=kernel_losses,
         )
+        if self._trace is not None:
+            for partition, scheme in enumerate(schemes):
+                engine = self._engine_of(scheme)
+                self._trace.event(
+                    "partition_summary", time_s=end_s, partition=partition,
+                    queries_served=len(steps[partition]),
+                    remote_hits=engine.remote_hits,
+                    remote_surcharge_dollars=engine.remote_dollars,
+                    peak_cache_bytes=(
+                        engine.partitioned_cache.peak_disk_used_bytes))
+                if engine.trace is not None:
+                    self._trace.absorb(engine.trace)
         baseline: Optional[MetricsSummary] = None
         if self._compare_baseline and self.partition_count > 1:
             baseline = run_tenant_cell(config).summary
@@ -789,14 +828,15 @@ def run_partitioned_cell(config: TenantExperimentConfig,
                          compare_baseline: bool = True,
                          placement: str = "hash",
                          handoff_threshold: float = 0.0,
-                         anchor_period: int = DEFAULT_ANCHOR_PERIOD
-                         ) -> DistCacheCellReport:
+                         anchor_period: int = DEFAULT_ANCHOR_PERIOD,
+                         trace=None) -> DistCacheCellReport:
     """Run one tenant cell in partitioned-cache mode (convenience wrapper)."""
     runner = DistCacheRunner(partitions, max_workers=max_workers,
                              remote=remote, compare_baseline=compare_baseline,
                              placement=placement,
                              handoff_threshold=handoff_threshold,
-                             anchor_period=anchor_period)
+                             anchor_period=anchor_period,
+                             trace=trace)
     return runner.run_cell(config)
 
 
@@ -807,12 +847,13 @@ def run_partitioned_experiment(configs: Sequence[TenantExperimentConfig],
                                compare_baseline: bool = True,
                                placement: str = "hash",
                                handoff_threshold: float = 0.0,
-                               anchor_period: int = DEFAULT_ANCHOR_PERIOD
-                               ) -> List[DistCacheCellReport]:
+                               anchor_period: int = DEFAULT_ANCHOR_PERIOD,
+                               trace=None) -> List[DistCacheCellReport]:
     """Run many cells partitioned; ``jobs`` sizes each cell's worker pool."""
     runner = DistCacheRunner(partitions, max_workers=jobs, remote=remote,
                              compare_baseline=compare_baseline,
                              placement=placement,
                              handoff_threshold=handoff_threshold,
-                             anchor_period=anchor_period)
+                             anchor_period=anchor_period,
+                             trace=trace)
     return runner.run_cells(configs)

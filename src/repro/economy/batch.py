@@ -102,6 +102,12 @@ class BatchScheduler:
         self._blocks: Dict[str, _TemplateBlock] = {}
         self._columns: Dict[int, Tuple[str, int]] = {}
         self._remaining = 0
+        # Observability sink (duck-typed TraceRecorder); None = disabled.
+        self._trace = None
+
+    def attach_trace(self, recorder) -> None:
+        """Attach a read-only trace recorder (batch-window events)."""
+        self._trace = recorder
 
     @property
     def tables(self) -> PlanTableCache:
@@ -233,3 +239,11 @@ class BatchScheduler:
         self._blocks = blocks
         self._columns = columns
         self._remaining = len(columns)
+        if self._trace is not None and queries:
+            self._trace.event(
+                "batch_window",
+                time_s=queries[0].arrival_time,
+                size=len(queries),
+                templates=len(blocks),
+                epochs=self._window_end - start + 1,
+            )

@@ -259,6 +259,9 @@ class EconomyEngine:
         # elapsed income would shut down everything still accruing.
         self._strict_income_mark: float = 0.0
         self._strict_enforced_at: Optional[float] = None
+        # Observability sink (duck-typed TraceRecorder). Always None unless
+        # attach_trace() is called; the hot loop pays one attribute check.
+        self._trace = None
 
     # -- accessors -----------------------------------------------------------------
 
@@ -302,6 +305,25 @@ class EconomyEngine:
         """The per-template plan-table cache (batched planning only)."""
         return self._plan_tables
 
+    @property
+    def trace(self):
+        """The attached trace recorder, or ``None`` (tracing disabled)."""
+        return self._trace
+
+    def attach_trace(self, recorder) -> None:
+        """Attach a read-only trace recorder to the engine and its parts.
+
+        The recorder (duck-typed :class:`repro.obs.trace.TraceRecorder`)
+        observes values the run computes anyway — it must never perturb
+        outcomes. Propagates to the cache manager and, when batched
+        planning is active, the batch scheduler; ``prime_queries`` also
+        forwards it to any scheduler created later.
+        """
+        self._trace = recorder
+        self._cache.attach_trace(recorder)
+        if self._batch is not None:
+            self._batch.attach_trace(recorder)
+
     # -- main entry point --------------------------------------------------------------
 
     def prime_queries(self, queries: Sequence[Query],
@@ -334,6 +356,8 @@ class EconomyEngine:
                 self._enumerator, self.execution_model,
                 tables=self._plan_tables,
             )
+            if self._trace is not None:
+                self._batch.attach_trace(self._trace)
         self._batch.prime(queries, settlement_period_s)
 
     def process_query(self, query: Query,
@@ -372,6 +396,13 @@ class EconomyEngine:
             builds, build_spend, evictions, eviction_losses,
         )
         self._outcomes.append(outcome)
+        if self._trace is not None:
+            self._trace.count("engine:queries")
+            self._trace.count(f"engine:case_{result.case.name}")
+            if outcome.served_in_cache:
+                self._trace.count("engine:cache_hits")
+            if builds:
+                self._trace.count("engine:builds", len(builds))
         return outcome
 
     def process_workload(self, queries: Sequence[Query]) -> List[QueryOutcome]:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 from repro.errors import ExperimentError
@@ -12,12 +13,14 @@ def distribution_cells(values: Sequence[float]) -> List[object]:
 
     Population-scale reports (the ``tenants`` experiment) summarise a
     per-tenant metric as its distribution rather than printing hundreds of
-    rows; an empty sequence renders as dashes.
+    rows; an empty sequence renders as dashes. The mean uses ``math.fsum``
+    so the rendered row is invariant under any permutation of the input —
+    the same exactness contract the placement layer's bid folding keeps.
     """
     data = [float(value) for value in values]
     if not data:
         return ["-", "-", "-"]
-    return [sum(data) / len(data), min(data), max(data)]
+    return [math.fsum(data) / len(data), min(data), max(data)]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

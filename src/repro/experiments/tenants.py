@@ -149,13 +149,20 @@ def build_population(config: TenantExperimentConfig) -> PopulatedWorkload:
                               seed=config.seed)
 
 
-def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
+def run_tenant_cell(config: TenantExperimentConfig,
+                    trace=None) -> TenantCellResult:
     """Run one scheme over one populated workload.
 
     The econ-* schemes get a :class:`TenantRegistry` pre-loaded with the
     population's profiles, making their pricing/negotiation tenant-aware;
     the bypass baseline has no economy, so only its step-level tenant
     metrics are populated (wallets stay empty).
+
+    Args:
+        config: the frozen cell configuration.
+        trace: optional :class:`~repro.obs.trace.TraceRecorder`; attaching
+            one is observation-only — the cell result stays byte-identical
+            to the untraced run (the zero-perturbation contract).
     """
     populated = build_population(config)
     system = CloudSystem()
@@ -174,6 +181,16 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
                 tenants=registry,
             )
         )
+    observers = []
+    if trace is not None:
+        from repro.obs.trace import kernel_observer_pair
+
+        engine = getattr(scheme, "engine", None)
+        if engine is not None:
+            engine.attach_trace(trace)
+        else:
+            scheme.cache.attach_trace(trace)
+        observers.append(kernel_observer_pair(trace))
     simulation = CloudSimulation(
         scheme, SimulationConfig(
             warmup_queries=config.warmup_queries,
@@ -183,6 +200,7 @@ def run_tenant_cell(config: TenantExperimentConfig) -> TenantCellResult:
     result = simulation.run(
         populated.queries,
         tenant_lifecycle=populated.lifecycle,
+        observers=observers,
         shock_events=compile_shock_events(config.shocks, populated.queries),
     )
 
@@ -218,7 +236,8 @@ def sorted_breakdowns(steps) -> Tuple[TenantBreakdown, ...]:
 
 def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
                           jobs: Optional[int] = None,
-                          shards: Optional[int] = None) -> List[TenantCellResult]:
+                          shards: Optional[int] = None,
+                          trace=None) -> List[TenantCellResult]:
     """Run many population cells, optionally fanned over worker processes.
 
     Args:
@@ -231,6 +250,11 @@ def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
             exactly; the merged cells are byte-identical to the unsharded
             ones. ``jobs`` then sizes the process pool the ``cells x
             shards`` tasks share.
+        trace: optional :class:`~repro.obs.trace.TraceRecorder` the whole
+            experiment records into. Sharded cells run per-shard recorders
+            (merged at the barriers) which are absorbed here; the unsharded
+            traced path runs cells sequentially so records land in one
+            recorder — the cell *results* are identical either way.
     """
     cells = list(configs)
     if not cells:
@@ -245,8 +269,16 @@ def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
         # Imported lazily: repro.sharding builds on this module.
         from repro.sharding import ShardCoordinator
 
-        coordinator = ShardCoordinator(shard_count, max_workers=worker_count)
-        return [report.cell for report in coordinator.run_cells(cells)]
+        coordinator = ShardCoordinator(shard_count, max_workers=worker_count,
+                                       trace=trace is not None)
+        reports = coordinator.run_cells(cells)
+        if trace is not None:
+            for report in reports:
+                if report.trace is not None:
+                    trace.absorb(report.trace)
+        return [report.cell for report in reports]
+    if trace is not None:
+        return [run_tenant_cell(config, trace=trace) for config in cells]
     if worker_count == 1 or len(cells) == 1:
         return [run_tenant_cell(config) for config in cells]
     with ProcessPoolExecutor(

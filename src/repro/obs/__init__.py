@@ -1,0 +1,51 @@
+"""Zero-perturbation observability: trace spans, manifests, reports.
+
+The subsystem has three layers (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — the :class:`TraceRecorder` and the kernel
+  observer, attached through the existing ``run(observers=...)`` hook plus
+  the trace attach points of the engine, cache, batch scheduler, shard
+  workers, and the partitioned runner. The hard invariant: enabling a
+  recorder leaves every table, ledger, and merged report **byte-identical**
+  — recorders are read-only and never touch RNG state or account
+  arithmetic; a disabled component pays one attribute check.
+* :mod:`repro.obs.manifest` — the :class:`RunManifest` serialized next to
+  every trace/report artifact (version, seed, frozen-config hash, scheme
+  set, interpreter versions, git sha, mode flags, per-phase wall-clock).
+* :mod:`repro.obs.report` — the ``repro report`` pipeline: schema-validated
+  ingest of the ``BENCH_*.json`` perf history plus trace artifacts, rendered
+  into versioned JSON + markdown.
+"""
+
+from repro.obs.manifest import RunManifest, build_manifest, config_hash
+from repro.obs.report import (
+    BENCH_NAMES,
+    REPORT_SCHEMA_VERSION,
+    BenchIngest,
+    ingest_bench_files,
+    render_report,
+    write_report_artifacts,
+)
+from repro.obs.schema import validate_bench, validate_report
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    KernelTraceObserver,
+    TraceRecorder,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "KernelTraceObserver",
+    "RunManifest",
+    "build_manifest",
+    "config_hash",
+    "BENCH_NAMES",
+    "REPORT_SCHEMA_VERSION",
+    "BenchIngest",
+    "ingest_bench_files",
+    "render_report",
+    "write_report_artifacts",
+    "validate_bench",
+    "validate_report",
+]

@@ -1,0 +1,346 @@
+"""The ``repro report`` pipeline: versioned JSON + markdown artifacts.
+
+Ingests the repo's perf history — the five checked-in ``BENCH_*.json``
+files (or freshly produced ones from CI's bench-smoke job) plus any
+``*.jsonl`` trace artifacts — validates every document against the
+declarative schemas in :mod:`repro.obs.schema`, extracts a per-benchmark
+headline, and renders two artifacts:
+
+* ``report.json`` — a versioned, schema-valid machine-readable document
+  (the report validates itself before writing; a self-check failure is a
+  hard error, unlike ingest problems which are fail-soft warnings).
+* ``report.md`` — a manifest-style markdown summary table covering every
+  expected bench file, flagging missing/legacy/invalid ones, followed by
+  one headline section per benchmark.
+
+A ``report.manifest.json`` run manifest is written next to them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.manifest import build_manifest
+from repro.obs.schema import BENCH_GATES, validate_bench, validate_report
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+#: Bumped whenever report.json's shape changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+#: The five benchmark kinds the perf history is expected to cover,
+#: mapped to their canonical checked-in file names.
+BENCH_NAMES: Tuple[Tuple[str, str], ...] = (
+    ("sharding", "BENCH_sharding.json"),
+    ("distcache", "BENCH_distcache.json"),
+    ("placement", "BENCH_placement.json"),
+    ("planner", "BENCH_planner.json"),
+    ("shocks", "BENCH_shocks.json"),
+)
+
+
+@dataclass
+class BenchIngest:
+    """One ingested bench file and its validation outcome."""
+
+    kind: str
+    path: str
+    found: bool = False
+    valid: bool = False
+    problems: List[str] = field(default_factory=list)
+    data: Optional[Dict[str, object]] = None
+
+    @property
+    def status(self) -> str:
+        """``ok`` / ``invalid`` / ``missing`` for the summary table."""
+        if not self.found:
+            return "missing"
+        return "ok" if self.valid else "invalid"
+
+
+def _kind_from_name(name: str) -> Optional[str]:
+    """The benchmark kind a file name claims, or ``None``."""
+    base = os.path.basename(name)
+    for kind, canonical in BENCH_NAMES:
+        if base == canonical or base == canonical.lower():
+            return kind
+    return None
+
+
+def ingest_bench_files(paths: Sequence[str]) -> List[BenchIngest]:
+    """Read and validate bench JSON files, fail-soft.
+
+    Every expected benchmark kind yields exactly one :class:`BenchIngest`
+    (marked missing when no supplied path covers it), so the summary table
+    always renders all five rows. Unreadable or legacy files are reported
+    as problems, never raised.
+    """
+    by_kind: Dict[str, BenchIngest] = {
+        kind: BenchIngest(kind=kind, path=canonical)
+        for kind, canonical in BENCH_NAMES
+    }
+    extras: List[BenchIngest] = []
+    for path in paths:
+        expected_kind = _kind_from_name(path)
+        ingest = BenchIngest(kind=expected_kind or os.path.basename(path),
+                             path=path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            ingest.problems.append(f"unreadable: {exc}")
+        except ValueError as exc:
+            ingest.found = True
+            ingest.problems.append(f"not valid JSON: {exc}")
+        else:
+            ingest.found = True
+            ingest.problems.extend(validate_bench(document, expected_kind))
+            ingest.valid = not ingest.problems
+            if isinstance(document, Mapping):
+                ingest.data = dict(document)
+                if expected_kind is None:
+                    benchmark = document.get("benchmark")
+                    if isinstance(benchmark, str):
+                        ingest.kind = benchmark
+        slot = by_kind.get(ingest.kind)
+        if slot is not None and not slot.found:
+            by_kind[ingest.kind] = ingest
+        else:
+            extras.append(ingest)
+    return [by_kind[kind] for kind, _ in BENCH_NAMES] + extras
+
+
+def _headline(ingest: BenchIngest) -> Dict[str, object]:
+    """Machine-readable per-benchmark headline numbers."""
+    data = ingest.data
+    if not data or not ingest.valid:
+        return {}
+    runs = [run for run in data.get("runs", ()) if isinstance(run, Mapping)]
+    headline: Dict[str, object] = {"runs": len(runs)}
+    gate = BENCH_GATES.get(ingest.kind)
+    if gate is not None:
+        gate_name, predicate = gate
+        headline["gate"] = gate_name
+        headline["gate_ok"] = bool(predicate(data))
+    if ingest.kind == "sharding":
+        best = max((run.get("speedup_vs_unsharded", 0.0) for run in runs),
+                   default=0.0)
+        headline["best_speedup_vs_unsharded"] = best
+    elif ingest.kind == "distcache":
+        best = max((run.get("queries_per_s", 0.0) for run in runs),
+                   default=0.0)
+        headline["best_queries_per_s"] = best
+    elif ingest.kind == "placement":
+        adaptive = [run for run in runs if run.get("placement") == "adaptive"]
+        headline["handoffs"] = sum(run.get("handoffs", 0) for run in adaptive)
+        headline["remote_hits"] = sum(
+            run.get("remote_hits", 0) for run in adaptive)
+    elif ingest.kind == "planner":
+        speedup = data.get("speedup")
+        if isinstance(speedup, Mapping):
+            headline["speedup"] = dict(speedup)
+    elif ingest.kind == "shocks":
+        ratios = [run.get("cost_ratio") for run in runs
+                  if isinstance(run.get("cost_ratio"), (int, float))]
+        if ratios:
+            headline["max_cost_ratio"] = max(ratios)
+        headline["grammar"] = data.get("grammar")
+    return headline
+
+
+def _trace_summary(path: str) -> Dict[str, object]:
+    """Summarize one ``*.jsonl`` trace artifact, fail-soft."""
+    summary: Dict[str, object] = {"path": path}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as exc:
+        summary["problem"] = f"unreadable: {exc}"
+        return summary
+    header: Dict[str, object] = {}
+    counters = 0
+    events = 0
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            summary["problem"] = f"line {index + 1} is not valid JSON"
+            return summary
+        kind = record.get("kind")
+        if index == 0 and kind == "trace_header":
+            header = record
+        elif kind == "counter":
+            counters += 1
+        else:
+            events += 1
+    summary["schema_version"] = header.get("schema_version")
+    summary["sources"] = header.get("sources", [])
+    summary["events"] = events
+    summary["counters"] = counters
+    if header.get("schema_version") != TRACE_SCHEMA_VERSION:
+        summary["problem"] = (
+            f"trace schema version {header.get('schema_version')!r} != "
+            f"{TRACE_SCHEMA_VERSION}")
+    return summary
+
+
+def render_report(bench_paths: Sequence[str],
+                  trace_paths: Sequence[str] = ()
+                  ) -> Tuple[Dict[str, object], str]:
+    """Render the report document and its markdown view.
+
+    Returns:
+        ``(report, markdown)`` where ``report`` is schema-valid against
+        :func:`repro.obs.schema.validate_report` (asserted here — a
+        self-check failure is a bug, not an ingest problem).
+    """
+    from repro import __version__
+
+    ingests = ingest_bench_files(bench_paths)
+    warnings: List[str] = []
+    benches: Dict[str, object] = {}
+    summary_rows: List[Dict[str, object]] = []
+    for ingest in ingests:
+        headline = _headline(ingest)
+        benches[ingest.kind] = {
+            "path": ingest.path,
+            "valid": ingest.valid,
+            "problems": list(ingest.problems),
+            "headline": headline,
+        }
+        summary_rows.append({
+            "benchmark": ingest.kind,
+            "file": os.path.basename(ingest.path),
+            "status": ingest.status,
+            "runs": headline.get("runs", 0),
+            "gate": headline.get("gate", "-"),
+            "gate_ok": headline.get("gate_ok"),
+        })
+        if ingest.status == "missing":
+            warnings.append(
+                f"bench file for {ingest.kind!r} not supplied "
+                f"(expected {ingest.path})")
+        elif not ingest.valid:
+            for problem in ingest.problems:
+                warnings.append(f"{ingest.path}: {problem}")
+
+    traces = [_trace_summary(path) for path in trace_paths]
+    for trace in traces:
+        problem = trace.get("problem")
+        if problem:
+            warnings.append(f"{trace['path']}: {problem}")
+
+    report: Dict[str, object] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "generator": f"repro {__version__}",
+        "benches": benches,
+        "summary": summary_rows,
+        "traces": traces,
+        "warnings": warnings,
+    }
+    self_check = validate_report(report)
+    if self_check:  # pragma: no cover - guarded by the schema tests
+        raise AssertionError(
+            "rendered report failed its own schema: " + "; ".join(self_check))
+    return report, _render_markdown(report)
+
+
+def _gate_cell(row: Mapping[str, object]) -> str:
+    gate_ok = row.get("gate_ok")
+    if gate_ok is None:
+        return "-"
+    return "pass" if gate_ok else "FAIL"
+
+
+def _render_markdown(report: Mapping[str, object]) -> str:
+    """The markdown view of a rendered report document."""
+    lines = [
+        "# Perf-history report",
+        "",
+        f"Generated by {report['generator']} "
+        f"(report schema v{report['schema_version']}).",
+        "",
+        "## Bench summary",
+        "",
+        "| benchmark | file | status | runs | gate | gate ok |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for row in report["summary"]:
+        lines.append(
+            f"| {row['benchmark']} | {row['file']} | {row['status']} "
+            f"| {row['runs']} | {row['gate']} | {_gate_cell(row)} |")
+    for kind, entry in report["benches"].items():
+        headline = entry.get("headline") or {}
+        detail = {key: value for key, value in headline.items()
+                  if key not in ("runs", "gate", "gate_ok")}
+        if not detail:
+            continue
+        lines.extend(["", f"## {kind}", ""])
+        for key in sorted(detail):
+            lines.append(f"- {key}: {detail[key]}")
+    traces = report.get("traces") or []
+    if traces:
+        lines.extend(["", "## Traces", ""])
+        for trace in traces:
+            problem = trace.get("problem")
+            status = f"problem: {problem}" if problem else (
+                f"{trace.get('events', 0)} events, "
+                f"{trace.get('counters', 0)} counters, "
+                f"sources {trace.get('sources')}")
+            lines.append(f"- `{trace['path']}` — {status}")
+    warnings = report.get("warnings") or []
+    if warnings:
+        lines.extend(["", "## Warnings", ""])
+        for warning in warnings:
+            lines.append(f"- {warning}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report_artifacts(bench_paths: Sequence[str],
+                           out_dir: str,
+                           trace_paths: Sequence[str] = (),
+                           force: bool = False) -> Dict[str, str]:
+    """Write ``report.json`` / ``report.md`` / ``report.manifest.json``.
+
+    Args:
+        bench_paths: BENCH_*.json files to ingest (fail-soft).
+        out_dir: output directory (created if needed).
+        trace_paths: optional ``*.jsonl`` trace artifacts to summarize.
+        force: overwrite existing artifacts.
+
+    Returns:
+        Mapping of artifact kind to written path.
+
+    Raises:
+        FileExistsError: an artifact exists and ``force`` is off.
+    """
+    report, markdown = render_report(bench_paths, trace_paths)
+    os.makedirs(out_dir, exist_ok=True)
+    targets = {
+        "json": os.path.join(out_dir, "report.json"),
+        "markdown": os.path.join(out_dir, "report.md"),
+        "manifest": os.path.join(out_dir, "report.manifest.json"),
+    }
+    if not force:
+        for path in targets.values():
+            if os.path.exists(path):
+                raise FileExistsError(
+                    f"refusing to overwrite {path} (pass --force)")
+    with open(targets["json"], "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
+    with open(targets["markdown"], "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    manifest = build_manifest(
+        "report",
+        config={"bench_paths": sorted(os.path.basename(p)
+                                      for p in bench_paths),
+                "trace_paths": sorted(os.path.basename(p)
+                                      for p in trace_paths)},
+        extra={"report_schema_version": REPORT_SCHEMA_VERSION,
+               "warnings": len(report["warnings"])},
+    )
+    manifest.write(targets["manifest"])
+    return targets

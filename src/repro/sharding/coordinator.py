@@ -59,9 +59,11 @@ class ShardPlan:
 class ShardCoordinator:
     """Executes tenant cells as sharded runs and merges them exactly."""
 
-    def __init__(self, shard_count: int, max_workers: int = 1) -> None:
+    def __init__(self, shard_count: int, max_workers: int = 1,
+                 trace: bool = False) -> None:
         self._plan = ShardPlan(shard_count=shard_count,
                                max_workers=max_workers)
+        self._trace = trace
 
     @property
     def plan(self) -> ShardPlan:
@@ -84,7 +86,7 @@ class ShardCoordinator:
             )
         return [
             ShardTask(config=config, shard_index=index,
-                      shard_count=self.shard_count)
+                      shard_count=self.shard_count, trace=self._trace)
             for index in range(self.shard_count)
         ]
 

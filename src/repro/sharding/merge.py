@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ShardingError
 from repro.experiments.tenants import TenantCellResult, TenantExperimentConfig
+from repro.obs.trace import TraceRecorder
 from repro.sharding.worker import ShardResult
 from repro.simulator.metrics import TenantBreakdown
 
@@ -45,6 +46,7 @@ class ShardMergeReport:
     owned_tenants_per_shard: Tuple[int, ...]
     barriers_verified: int
     max_conservation_residual: float
+    trace: Optional[TraceRecorder] = None
 
 
 def _require(condition: bool, message: str) -> None:
@@ -192,6 +194,15 @@ def merge_shard_results(shards: Sequence[ShardResult],
         population_size=results[0].population_size,
         churn_waves=results[0].churn_waves,
     )
+    # Fold per-shard trace recorders (when the cell ran traced) the same
+    # way the checkpoints fold: records keep their shard source tags, so
+    # the merged trace reports the replicated replay per shard.
+    trace: Optional[TraceRecorder] = None
+    if any(shard.trace is not None for shard in results):
+        trace = TraceRecorder(source="merge")
+        for shard in results:
+            if shard.trace is not None:
+                trace.absorb(shard.trace)
     return ShardMergeReport(
         cell=cell,
         shard_count=shard_count,
@@ -199,4 +210,5 @@ def merge_shard_results(shards: Sequence[ShardResult],
             shard.owned_tenant_count for shard in results),
         barriers_verified=barriers,
         max_conservation_residual=max_residual,
+        trace=trace,
     )

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 from repro.economy.account import CloudAccount
 from repro.economy.engine import EconomyConfig
 from repro.errors import ShardingError
+from repro.obs.trace import TraceRecorder, kernel_observer_pair
 from repro.experiments.tenants import (
     TenantExperimentConfig,
     build_population,
@@ -50,6 +51,7 @@ class ShardTask:
     config: TenantExperimentConfig
     shard_index: int
     shard_count: int
+    trace: bool = False
 
     def __post_init__(self) -> None:
         TenantPartitioner(self.shard_count).validate_index(self.shard_index)
@@ -90,6 +92,7 @@ class ShardResult:
     checkpoints: Tuple[SettlementCheckpoint, ...]
     population_size: int
     churn_waves: int
+    trace: Optional[TraceRecorder] = None
 
 
 class SettlementCheckpointRecorder:
@@ -165,6 +168,20 @@ class ShardWorker:
                 registry, scheme.engine.account)
             observers.append((MaintenanceSettlementEvent, recorder))
 
+        trace: Optional[TraceRecorder] = None
+        if task.trace:
+            # Per-shard recorder, merged by the coordinator at the same
+            # barriers that align the settlement checkpoints. Counters stay
+            # tagged with this shard's source so the replicated replay is
+            # reported per shard, never double-counted.
+            trace = TraceRecorder(source=f"shard{task.shard_index}")
+            engine = getattr(scheme, "engine", None)
+            if engine is not None:
+                engine.attach_trace(trace)
+            else:
+                scheme.cache.attach_trace(trace)
+            observers.append(kernel_observer_pair(trace))
+
         simulation = CloudSimulation(scheme, SimulationConfig(
             warmup_queries=config.warmup_queries,
             settlement_period_s=config.settlement_period_s,
@@ -218,6 +235,7 @@ class ShardWorker:
             checkpoints=checkpoints,
             population_size=populated.tenant_count,
             churn_waves=populated.churn_waves,
+            trace=trace,
         )
 
 

@@ -1,0 +1,132 @@
+"""CLI observability tests: --version, --trace validation, report command."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.cli import main
+
+TENANTS_ARGS = ["tenants", "--n-tenants", "4", "--queries", "30",
+                "--schemes", "econ-cheap", "--settlement-period", "60"]
+
+
+def _run(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_version_matches_manifest_stamp(self):
+        from repro.obs import build_manifest
+
+        assert build_manifest("tenants").version == repro.__version__
+
+
+class TestTraceValidation:
+    def test_missing_parent_directory_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(TENANTS_ARGS + ["--trace", "/nonexistent-dir/t.jsonl"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_existing_file_without_force_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        target.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(TENANTS_ARGS + ["--trace", str(target)])
+        assert excinfo.value.code == 2
+        assert "--force" in capsys.readouterr().err
+
+    def test_force_overwrites(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        target.write_text("stale")
+        code, out, _ = _run(capsys, TENANTS_ARGS
+                            + ["--trace", str(target), "--force"])
+        assert code == 0
+        assert target.read_text() != "stale"
+
+
+class TestTracedRunsAreByteIdentical:
+    def test_tenants_sharded(self, tmp_path, capsys):
+        """The acceptance pin: tenants --shards 2 --trace vs untraced."""
+        argv = TENANTS_ARGS + ["--shards", "2"]
+        code, untraced, _ = _run(capsys, argv)
+        assert code == 0
+        trace_path = tmp_path / "t.jsonl"
+        code, traced, _ = _run(capsys, argv + ["--trace", str(trace_path)])
+        assert code == 0
+        assert traced == untraced
+        lines = trace_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace_header"
+        assert header["sources"] == ["shard0", "shard1"]
+        manifest = json.loads(
+            (tmp_path / "t.jsonl.manifest.json").read_text())
+        assert manifest["version"] == repro.__version__
+        assert manifest["shards"] == 2
+        assert manifest["command"] == "tenants"
+        assert set(manifest["phase_timings_s"]) == {"run", "emit_trace"}
+
+    def test_tenants_partitioned_adaptive(self, tmp_path, capsys):
+        argv = TENANTS_ARGS + ["--cache-partitions", "2",
+                               "--placement", "adaptive"]
+        code, untraced, _ = _run(capsys, argv)
+        assert code == 0
+        trace_path = tmp_path / "t.jsonl"
+        code, traced, _ = _run(capsys, argv + ["--trace", str(trace_path)])
+        assert code == 0
+        assert traced == untraced
+        assert trace_path.exists()
+
+    def test_scenario(self, tmp_path, capsys):
+        argv = ["scenario", "--queries", "30", "--settlement-period", "60"]
+        code, untraced, _ = _run(capsys, argv)
+        assert code == 0
+        trace_path = tmp_path / "s.jsonl"
+        code, traced, _ = _run(capsys, argv + ["--trace", str(trace_path)])
+        assert code == 0
+        assert traced == untraced
+        manifest = json.loads(
+            (tmp_path / "s.jsonl.manifest.json").read_text())
+        assert manifest["command"] == "scenario"
+        assert manifest["schemes"] == ["econ-cheap"]
+
+
+class TestReportCommand:
+    def test_report_over_checked_in_bench_files(self, tmp_path, capsys):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        bench = [os.path.join(repo_root, name) for name in (
+            "BENCH_sharding.json", "BENCH_distcache.json",
+            "BENCH_placement.json", "BENCH_planner.json",
+            "BENCH_shocks.json")]
+        if not all(os.path.exists(path) for path in bench):
+            pytest.skip("checked-in bench files not present")
+        out_dir = tmp_path / "artifacts"
+        code, out, _ = _run(capsys, ["report", "--out", str(out_dir)] + bench)
+        assert code == 0
+        assert "| planner |" in out
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["warnings"] == []
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "report.manifest.json").exists()
+
+    def test_report_refuses_overwrite_without_force(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code, _, _ = _run(capsys, ["report", "--out", str(out_dir)])
+        assert code == 0
+        code, _, err = _run(capsys, ["report", "--out", str(out_dir)])
+        assert code == 2
+        assert "--force" in err
+        code, _, _ = _run(capsys,
+                          ["report", "--out", str(out_dir), "--force"])
+        assert code == 0
