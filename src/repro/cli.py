@@ -105,7 +105,6 @@ from repro.obs import (
     build_manifest,
     write_report_artifacts,
 )
-from repro.obs.trace import kernel_observer_pair
 from repro.policies.factory import SCHEME_NAMES
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
@@ -219,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "on arrival, 'batched' scores whole per-template "
                               "batches vectorized; the tables are "
                               "byte-identical either way (default: scalar)")
+        # Only --trace/--force here: the figure drivers' --profile is the
+        # experiment profile, so the cProfile flag stays off these.
+        _add_trace_arguments(sub, full=False)
 
     ablation = subparsers.add_parser("ablation", help="run one ablation sweep")
     ablation.add_argument("which", choices=sorted(_ABLATIONS))
@@ -411,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=PLANNING_SCALAR,
                         help="query planning path (scalar or batched; "
                              "byte-identical tables, default: scalar)")
+    _add_trace_arguments(shocks)
 
     report = subparsers.add_parser(
         "report",
@@ -428,39 +431,102 @@ def build_parser() -> argparse.ArgumentParser:
                              "report-artifacts)")
     report.add_argument("--force", action="store_true",
                         help="overwrite existing report artifacts")
+    report.add_argument("--baseline", default=None, metavar="DIR",
+                        help="bench-history directory (benchmarks/history) "
+                             "to compare against: each bench's headline "
+                             "metrics are diffed against its newest "
+                             "comparable record (same config hash) and the "
+                             "summary table gains delta + perf-gate columns")
+    report.add_argument("--warn-slowdown", type=_nonnegative_float,
+                        default=0.10, metavar="FRAC",
+                        help="relative regression at which a baseline delta "
+                             "warns (default: 0.10)")
+    report.add_argument("--fail-slowdown", type=_nonnegative_float,
+                        default=0.25, metavar="FRAC",
+                        help="relative regression at which a baseline delta "
+                             "fails (default: 0.25)")
+    report.add_argument("--grids", action="store_true",
+                        help="additionally run the headline/figure4/figure5 "
+                             "grid tables and fold them into the report's "
+                             "grids section")
+    report.add_argument("--grids-profile", choices=sorted(_PROFILES),
+                        default="quick",
+                        help="experiment profile for --grids "
+                             "(default: quick)")
+    report.add_argument("--grids-jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="worker processes for the --grids cells "
+                             "(default: 1, sequential)")
 
     subparsers.add_parser("describe", help="print the simulated schema and defaults")
     return parser
 
 
-def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
-    """The shared ``--trace``/``--force`` pair of the traceable commands."""
+def _add_trace_arguments(sub: argparse.ArgumentParser,
+                         full: bool = True) -> None:
+    """The shared observability flags of the observable commands.
+
+    ``full`` adds ``--metrics`` and the cProfile ``--profile`` on top of
+    ``--trace``/``--force``; the figure/headline grid drivers pass
+    ``full=False`` because their ``--profile`` already names the
+    experiment profile.
+    """
     sub.add_argument("--trace", default=None, metavar="PATH",
                      help="record spans and counters to PATH as sorted "
                           "JSONL, with a run manifest next to it "
                           "(PATH.manifest.json); tracing is observation-"
                           "only — the printed tables are byte-identical "
                           "to the untraced run")
+    if full:
+        sub.add_argument("--metrics", default=None, metavar="PATH",
+                         help="sample engine/cache/economy/batch counters "
+                              "at every settlement barrier into PATH as "
+                              "sorted per-epoch JSONL, with a run manifest "
+                              "next to it (PATH.manifest.json); same "
+                              "zero-perturbation contract as --trace")
+        sub.add_argument("--profile", action="store_true",
+                         help="run under cProfile and fold the top "
+                              "cumulative-time hotspots into the --trace/"
+                              "--metrics run manifest (requires one of "
+                              "them; profiling never touches the printed "
+                              "tables)")
     sub.add_argument("--force", action="store_true",
-                     help="overwrite an existing --trace file")
+                     help="overwrite an existing --trace/--metrics file")
 
 
 def _validate_trace(parser: argparse.ArgumentParser,
                     args: argparse.Namespace) -> None:
-    """Exit-2 validation of ``--trace`` (like the numeric flag types)."""
-    path = getattr(args, "trace", None)
-    if path is None:
-        return
-    parent = os.path.dirname(path) or "."
-    if not os.path.isdir(parent):
-        parser.error(f"argument --trace: directory {parent!r} does not exist")
-    if os.path.exists(path) and not args.force:
-        parser.error(f"argument --trace: {path!r} exists "
-                     f"(pass --force to overwrite)")
+    """Exit-2 validation of the observability flags (like the numeric
+    flag types): parent directories must exist, existing artifacts need
+    ``--force``, ``--trace``/``--metrics`` may not share a path, and the
+    cProfile ``--profile`` needs a manifest to land its hotspots in."""
+    paths = {}
+    for attr in ("trace", "metrics"):
+        path = getattr(args, attr, None)
+        if path is None:
+            continue
+        paths[attr] = path
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            parser.error(
+                f"argument --{attr}: directory {parent!r} does not exist")
+        if os.path.exists(path) and not args.force:
+            parser.error(f"argument --{attr}: {path!r} exists "
+                         f"(pass --force to overwrite)")
+    if len(paths) == 2 and paths["trace"] == paths["metrics"]:
+        parser.error("arguments --trace/--metrics: must be different "
+                     "paths (each is a complete JSONL artifact)")
+    # The figure commands' --profile is the experiment profile (a str);
+    # only the boolean store_true flag is the cProfile switch.
+    profiling = getattr(args, "profile", None)
+    if isinstance(profiling, bool) and profiling and not paths:
+        parser.error("argument --profile: requires --trace or --metrics "
+                     "(the hotspots are folded into their run manifest)")
 
 
-def _figure_command(command: str, profile: ExperimentProfile, jobs: int) -> str:
-    grid = run_grid(profile, jobs=jobs)
+def _figure_command(command: str, profile: ExperimentProfile, jobs: int,
+                    trace: Optional[TraceRecorder] = None) -> str:
+    grid = run_grid(profile, jobs=jobs, trace=trace)
     if command == "figure4":
         return figure4_table(grid=grid)
     if command == "figure5":
@@ -477,7 +543,8 @@ def _ablation_command(which: str, queries: int) -> str:
 
 
 def _scenario_command(args: argparse.Namespace,
-                      trace: Optional[TraceRecorder] = None) -> str:
+                      trace: Optional[TraceRecorder] = None,
+                      metrics=None) -> str:
     scenario = build_scenario(
         args.arrival,
         query_count=args.queries,
@@ -491,13 +558,11 @@ def _scenario_command(args: argparse.Namespace,
                               strict_maintenance=args.strict_maintenance),
     ))
     observers = []
-    if trace is not None:
-        scheme_engine = getattr(scheme, "engine", None)
-        if scheme_engine is not None:
-            scheme_engine.attach_trace(trace)
-        else:
-            scheme.cache.attach_trace(trace)
-        observers.append(kernel_observer_pair(trace))
+    if trace is not None or metrics is not None:
+        from repro.obs.metrics import attach_observability
+
+        observers = attach_observability(scheme, trace=trace,
+                                         metrics=metrics)
     simulation = CloudSimulation(scheme, SimulationConfig(
         settlement_period_s=args.settlement_period,
         failure_check_period_s=args.failure_check_period,
@@ -566,7 +631,8 @@ def _render_warnings(caught: List[warnings.WarningMessage]) -> None:
 
 
 def _tenants_command(args: argparse.Namespace,
-                     trace: Optional[TraceRecorder] = None) -> str:
+                     trace: Optional[TraceRecorder] = None,
+                     metrics=None) -> str:
     names = (list(SCHEME_NAMES) if args.schemes == "all"
              else [name.strip() for name in args.schemes.split(",")
                    if name.strip()])
@@ -612,7 +678,7 @@ def _tenants_command(args: argparse.Namespace,
                 configs, partitions=args.cache_partitions, jobs=args.jobs,
                 placement=args.placement,
                 handoff_threshold=args.handoff_threshold,
-                trace=trace)
+                trace=trace, metrics=metrics)
             for report in reports:
                 sections.append(tenant_aggregate_table(report.cell))
                 if args.top > 0:
@@ -627,7 +693,8 @@ def _tenants_command(args: argparse.Namespace,
                     sections.append(placement)
         else:
             results = run_tenant_experiment(configs, jobs=args.jobs,
-                                            shards=args.shards, trace=trace)
+                                            shards=args.shards, trace=trace,
+                                            metrics=metrics)
             for result in results:
                 sections.append(tenant_aggregate_table(result))
                 if args.top > 0:
@@ -636,7 +703,9 @@ def _tenants_command(args: argparse.Namespace,
     return "\n\n".join(sections)
 
 
-def _shocks_command(args: argparse.Namespace) -> str:
+def _shocks_command(args: argparse.Namespace,
+                    trace: Optional[TraceRecorder] = None,
+                    metrics=None) -> str:
     names = (list(SCHEME_NAMES) if args.schemes == "all"
              else [name.strip() for name in args.schemes.split(",")
                    if name.strip()])
@@ -677,7 +746,10 @@ def _shocks_command(args: argparse.Namespace) -> str:
     with warnings.catch_warnings(record=True) as caught:
         for category in _RENDERED_WARNINGS:
             warnings.simplefilter("default", category)
-        results = run_shock_resilience(configs, jobs=args.jobs)
+        # The recorders observe the primary shocked cells; the scaling-mode
+        # reruns below are byte-identity audits and stay unobserved.
+        results = run_shock_resilience(configs, jobs=args.jobs,
+                                       trace=trace, metrics=metrics)
         sections.append(shock_resilience_table(results))
         for item in results:
             if item.audit is None:
@@ -753,9 +825,36 @@ def _report_command(args: argparse.Namespace) -> str:
     bench_paths = [path for path in artifacts
                    if not path.endswith(".jsonl")]
     trace_paths = [path for path in artifacts if path.endswith(".jsonl")]
+    gates = None
+    if args.baseline is not None:
+        if not os.path.isdir(args.baseline):
+            raise ReproError(
+                f"--baseline: directory {args.baseline!r} does not exist")
+        from repro.obs.history import RegressionGates
+
+        try:
+            gates = RegressionGates(warn_slowdown=args.warn_slowdown,
+                                    fail_slowdown=args.fail_slowdown)
+        except ValueError as error:
+            raise ReproError(f"--warn-slowdown/--fail-slowdown: {error}")
+    grid_tables = None
+    grid_profile = None
+    if args.grids:
+        grid_profile = args.grids_profile
+        profile = _PROFILES[grid_profile]
+        grid = run_grid(profile, jobs=args.grids_jobs)
+        grid_tables = {
+            "headline": headline_table(grid=grid),
+            "figure4": figure4_table(grid=grid),
+            "figure5": figure5_table(grid=grid),
+        }
     targets = write_report_artifacts(bench_paths, args.out,
                                      trace_paths=trace_paths,
-                                     force=args.force)
+                                     force=args.force,
+                                     baseline_dir=args.baseline,
+                                     gates=gates,
+                                     grid_tables=grid_tables,
+                                     grid_profile=grid_profile)
     with open(targets["markdown"], "r", encoding="utf-8") as handle:
         markdown = handle.read()
     footer = "\n".join(f"wrote {path}" for _, path in sorted(targets.items()))
@@ -774,33 +873,83 @@ def _describe_command() -> str:
     return "\n".join(lines)
 
 
-def _write_trace_artifacts(args: argparse.Namespace, trace: TraceRecorder,
-                           run_s: float) -> None:
-    """Emit the trace JSONL plus its run manifest (``PATH.manifest.json``)."""
-    emit_started = time.perf_counter()
-    trace.write(args.trace)
-    emit_s = time.perf_counter() - emit_started
-    if args.command == "tenants":
-        schemes = (list(SCHEME_NAMES) if args.schemes == "all"
-                   else [name.strip() for name in args.schemes.split(",")
-                         if name.strip()])
+def _observed_schemes(args: argparse.Namespace) -> List[str]:
+    """The scheme list an observed run covered, for its manifest."""
+    if args.command in ("tenants", "shocks"):
+        return (list(SCHEME_NAMES) if args.schemes == "all"
+                else [name.strip() for name in args.schemes.split(",")
+                      if name.strip()])
+    if args.command in ("figure4", "figure5", "headline"):
+        return list(_PROFILES[args.profile].schemes)
+    return [args.scheme]
+
+
+def _write_observability_artifacts(args: argparse.Namespace,
+                                   trace: Optional[TraceRecorder],
+                                   metrics,
+                                   run_s: float,
+                                   profile_top=None) -> None:
+    """Emit trace/metrics JSONL artifacts, each with a run manifest
+    (``PATH.manifest.json``) carrying the cProfile hotspots when the run
+    profiled."""
+    schemes = _observed_schemes(args)
+    if args.command in ("figure4", "figure5", "headline"):
+        seed = _PROFILES[args.profile].seed
     else:
-        schemes = [args.scheme]
+        seed = args.seed
     config = {key: value for key, value in sorted(vars(args).items())
-              if key not in ("trace", "force")}
-    manifest = build_manifest(
-        args.command,
-        seed=args.seed,
-        config=config,
-        schemes=schemes,
-        shards=getattr(args, "shards", 1),
-        cache_partitions=getattr(args, "cache_partitions", 1),
-        placement=getattr(args, "placement", "hash"),
-        planning=args.planning,
-        phase_timings_s={"run": run_s, "emit_trace": emit_s},
-        extra={"trace_path": args.trace, "trace_events": len(trace)},
-    )
-    manifest.write(args.trace + ".manifest.json")
+              if key not in ("trace", "metrics", "force")}
+    artifacts = []
+    if trace is not None:
+        artifacts.append(("trace", args.trace, trace, len(trace)))
+    if metrics is not None:
+        artifacts.append(("metrics", getattr(args, "metrics", None),
+                          metrics, len(metrics.samples)))
+    for kind, path, recorder, size in artifacts:
+        emit_started = time.perf_counter()
+        recorder.write(path)
+        emit_s = time.perf_counter() - emit_started
+        extra = {f"{kind}_path": path,
+                 ("trace_events" if kind == "trace"
+                  else "metrics_samples"): size}
+        if profile_top is not None:
+            extra["profile_top"] = profile_top
+        manifest = build_manifest(
+            args.command,
+            seed=seed,
+            config=config,
+            schemes=schemes,
+            shards=getattr(args, "shards", 1),
+            cache_partitions=getattr(args, "cache_partitions", 1),
+            placement=getattr(args, "placement", "hash"),
+            planning=args.planning,
+            phase_timings_s={"run": run_s, f"emit_{kind}": emit_s},
+            extra=extra,
+        )
+        manifest.write(path + ".manifest.json")
+
+
+def _dispatch(args: argparse.Namespace,
+              trace: Optional[TraceRecorder],
+              metrics) -> str:
+    """Route one parsed command to its driver."""
+    if args.command in ("figure4", "figure5", "headline"):
+        profile = _PROFILES[args.profile].with_overrides(
+            planning=args.planning
+        )
+        return _figure_command(args.command, profile, args.jobs,
+                               trace=trace)
+    if args.command == "ablation":
+        return _ablation_command(args.which, args.queries)
+    if args.command == "scenario":
+        return _scenario_command(args, trace=trace, metrics=metrics)
+    if args.command == "tenants":
+        return _tenants_command(args, trace=trace, metrics=metrics)
+    if args.command == "shocks":
+        return _shocks_command(args, trace=trace, metrics=metrics)
+    if args.command == "report":
+        return _report_command(args)
+    return _describe_command()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -811,25 +960,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     trace: Optional[TraceRecorder] = None
     if getattr(args, "trace", None) is not None:
         trace = TraceRecorder()
+    metrics = None
+    if getattr(args, "metrics", None) is not None:
+        from repro.obs.metrics import MetricsTimeseries
+
+        metrics = MetricsTimeseries()
+    profiling = getattr(args, "profile", None) is True
+    profiler = None
     run_started = time.perf_counter()
     try:
-        if args.command in ("figure4", "figure5", "headline"):
-            profile = _PROFILES[args.profile].with_overrides(
-                planning=args.planning
-            )
-            output = _figure_command(args.command, profile, args.jobs)
-        elif args.command == "ablation":
-            output = _ablation_command(args.which, args.queries)
-        elif args.command == "scenario":
-            output = _scenario_command(args, trace=trace)
-        elif args.command == "tenants":
-            output = _tenants_command(args, trace=trace)
-        elif args.command == "shocks":
-            output = _shocks_command(args)
-        elif args.command == "report":
-            output = _report_command(args)
+        if profiling:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            output = profiler.runcall(_dispatch, args, trace, metrics)
         else:
-            output = _describe_command()
+            output = _dispatch(args, trace, metrics)
     except ReproError as error:
         # Invalid values (e.g. --jobs 0) surface as library errors; report
         # them like argparse does instead of dumping a traceback.
@@ -839,8 +985,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # The report pipeline's overwrite guard (mirrors --trace's).
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if trace is not None:
-        _write_trace_artifacts(args, trace, time.perf_counter() - run_started)
+    if trace is not None or metrics is not None:
+        profile_top = None
+        if profiler is not None:
+            from repro.obs.manifest import profile_hotspots
+
+            profile_top = profile_hotspots(profiler)
+        _write_observability_artifacts(
+            args, trace, metrics, time.perf_counter() - run_started,
+            profile_top=profile_top)
     print(output)
     return 0
 

@@ -317,7 +317,7 @@ class DistCacheRunner:
                  placement: str = "hash",
                  handoff_threshold: float = 0.0,
                  anchor_period: int = DEFAULT_ANCHOR_PERIOD,
-                 trace=None) -> None:
+                 trace=None, metrics=None) -> None:
         if partition_count < 1:
             raise DistCacheError(
                 f"partition_count must be >= 1, got {partition_count}")
@@ -343,11 +343,16 @@ class DistCacheRunner:
         self._placement = placement
         self._handoff_threshold = handoff_threshold
         self._anchor_period = anchor_period
-        # Observability sink (duck-typed TraceRecorder); None = disabled.
+        # Observability sinks (duck-typed TraceRecorder); None = disabled.
         # Per-partition recorders live on the engines (travelling through
         # the per-epoch pickle round-trips inside their schemes) and are
-        # absorbed into this recorder when a cell completes.
+        # absorbed into these collectors when a cell completes. The
+        # partitioned run has no kernel, so the barrier loop below doubles
+        # as the metrics sampler: per-partition samples are taken off the
+        # live engines at every barrier, exactly where a kernel run's
+        # settlement observer would fire.
         self._trace = trace
+        self._metrics = metrics
 
     @property
     def partition_count(self) -> int:
@@ -475,14 +480,20 @@ class DistCacheRunner:
         populated = build_population(config)
         queries = list(populated.queries)
         schemes = self._build_schemes(config, populated.profiles)
-        if self._trace is not None:
+        if self._trace is not None or self._metrics is not None:
             # Per-partition recorders ride inside the schemes through the
             # per-epoch worker round-trips; absorbed after the last barrier.
+            from repro.obs.metrics import MetricsTimeseries, combined_recorder
             from repro.obs.trace import TraceRecorder
 
             for index, scheme in enumerate(schemes):
-                self._engine_of(scheme).attach_trace(
-                    TraceRecorder(source=f"partition{index}"))
+                source = f"partition{index}"
+                self._engine_of(scheme).attach_trace(combined_recorder(
+                    TraceRecorder(source=source)
+                    if self._trace is not None else None,
+                    MetricsTimeseries(source=source)
+                    if self._metrics is not None else None,
+                ))
         items = self._epoch_items(
             queries, populated.lifecycle,
             compile_shock_events(config.shocks, populated.queries))
@@ -592,6 +603,10 @@ class DistCacheRunner:
                             "handoff", time_s=barrier, key=record.key,
                             from_partition=record.from_partition,
                             to_partition=record.to_partition)
+                if self._metrics is not None:
+                    self._sample_barrier(schemes, barrier, epoch + 1,
+                                         is_final, directory, publication,
+                                         len(applied))
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -608,18 +623,27 @@ class DistCacheRunner:
             churn_waves=populated.churn_waves,
             kernel_losses_by_partition=kernel_losses,
         )
-        if self._trace is not None:
+        if self._trace is not None or self._metrics is not None:
+            from repro.obs.metrics import metrics_part, trace_part
+
             for partition, scheme in enumerate(schemes):
                 engine = self._engine_of(scheme)
-                self._trace.event(
-                    "partition_summary", time_s=end_s, partition=partition,
-                    queries_served=len(steps[partition]),
-                    remote_hits=engine.remote_hits,
-                    remote_surcharge_dollars=engine.remote_dollars,
-                    peak_cache_bytes=(
-                        engine.partitioned_cache.peak_disk_used_bytes))
-                if engine.trace is not None:
-                    self._trace.absorb(engine.trace)
+                if self._trace is not None:
+                    self._trace.event(
+                        "partition_summary", time_s=end_s,
+                        partition=partition,
+                        queries_served=len(steps[partition]),
+                        remote_hits=engine.remote_hits,
+                        remote_surcharge_dollars=engine.remote_dollars,
+                        peak_cache_bytes=(
+                            engine.partitioned_cache.peak_disk_used_bytes))
+                    part = trace_part(engine.trace)
+                    if part is not None:
+                        self._trace.absorb(part)
+                if self._metrics is not None:
+                    part = metrics_part(engine.trace)
+                    if part is not None:
+                        self._metrics.absorb(part)
         baseline: Optional[MetricsSummary] = None
         if self._compare_baseline and self.partition_count > 1:
             baseline = run_tenant_cell(config).summary
@@ -790,6 +814,43 @@ class DistCacheRunner:
             handoffs_applied=handoffs_applied,
         )
 
+    def _sample_barrier(self, schemes: Sequence[CachingScheme],
+                        barrier: float, epoch: int, is_final: bool,
+                        directory: CrossShardDirectory,
+                        publication: "DirectoryPublication",
+                        handoffs_applied: int) -> None:
+        """Take this barrier's metrics samples (read-only, post-barrier).
+
+        One sample per partition (off its engine-held collector, so the
+        per-epoch counter deltas pair with the gauges read here) plus one
+        runner-level sample carrying the cross-partition barrier state
+        (directory size, delta bytes, handoffs).
+        """
+        from repro.obs.metrics import metrics_part
+
+        for scheme in schemes:
+            engine = self._engine_of(scheme)
+            collector = metrics_part(engine.trace)
+            if collector is None:
+                continue
+            collector.sample(
+                time_s=barrier, epoch=epoch, final=is_final,
+                provider_credit=engine.account.credit,
+                query_payments=engine.account.totals_by_category().get(
+                    CloudAccount.CATEGORY_QUERY_PAYMENT, 0.0),
+                wallet_credit=scheme.tenant_registry.total_credit(),
+                remote_hits=engine.remote_hits,
+                remote_surcharge_dollars=engine.remote_dollars,
+                cache_entries=len(engine.partitioned_cache.entries),
+                disk_used_bytes=engine.partitioned_cache.disk_used_bytes,
+            )
+        self._metrics.sample(
+            time_s=barrier, epoch=epoch, final=is_final,
+            directory_entries=len(directory),
+            directory_delta_bytes=publication.delta_bytes,
+            handoffs_applied=handoffs_applied,
+        )
+
     @staticmethod
     def _engine_of(scheme: CachingScheme) -> PartitionedEconomyEngine:
         engine = getattr(scheme, "engine", None)
@@ -829,14 +890,14 @@ def run_partitioned_cell(config: TenantExperimentConfig,
                          placement: str = "hash",
                          handoff_threshold: float = 0.0,
                          anchor_period: int = DEFAULT_ANCHOR_PERIOD,
-                         trace=None) -> DistCacheCellReport:
+                         trace=None, metrics=None) -> DistCacheCellReport:
     """Run one tenant cell in partitioned-cache mode (convenience wrapper)."""
     runner = DistCacheRunner(partitions, max_workers=max_workers,
                              remote=remote, compare_baseline=compare_baseline,
                              placement=placement,
                              handoff_threshold=handoff_threshold,
                              anchor_period=anchor_period,
-                             trace=trace)
+                             trace=trace, metrics=metrics)
     return runner.run_cell(config)
 
 
@@ -848,12 +909,13 @@ def run_partitioned_experiment(configs: Sequence[TenantExperimentConfig],
                                placement: str = "hash",
                                handoff_threshold: float = 0.0,
                                anchor_period: int = DEFAULT_ANCHOR_PERIOD,
-                               trace=None) -> List[DistCacheCellReport]:
+                               trace=None,
+                               metrics=None) -> List[DistCacheCellReport]:
     """Run many cells partitioned; ``jobs`` sizes each cell's worker pool."""
     runner = DistCacheRunner(partitions, max_workers=jobs, remote=remote,
                              compare_baseline=compare_baseline,
                              placement=placement,
                              handoff_threshold=handoff_threshold,
                              anchor_period=anchor_period,
-                             trace=trace)
+                             trace=trace, metrics=metrics)
     return runner.run_cells(configs)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.costmodel.config import CostModelConfig
@@ -28,11 +28,18 @@ from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 
 @dataclass(frozen=True)
 class CellResult:
-    """Result of one (scheme, inter-arrival time) cell."""
+    """Result of one (scheme, inter-arrival time) cell.
+
+    ``trace`` carries the cell's recorder when the grid ran traced
+    (source-tagged ``scheme@interval``; absorbed by :func:`run_grid`
+    into the caller's recorder) and is excluded from equality so traced
+    grids compare cell-for-cell identical to untraced ones.
+    """
 
     scheme: str
     interarrival_s: float
     summary: MetricsSummary
+    trace: Optional[object] = dataclasses_field(default=None, compare=False)
 
 
 class ExperimentGrid:
@@ -89,8 +96,15 @@ def build_system(profile: ExperimentProfile) -> CloudSystem:
 
 def run_cell(system: CloudSystem, profile: ExperimentProfile, scheme_name: str,
              interarrival_s: float,
-             workload_spec: Optional[WorkloadSpec] = None) -> CellResult:
-    """Run one (scheme, interval) cell against a prepared system."""
+             workload_spec: Optional[WorkloadSpec] = None,
+             trace: bool = False) -> CellResult:
+    """Run one (scheme, interval) cell against a prepared system.
+
+    With ``trace=True`` the cell records into its own
+    :class:`~repro.obs.trace.TraceRecorder` (source ``scheme@interval``)
+    attached under the zero-perturbation contract; the recorder rides
+    the returned :class:`CellResult` for the grid to absorb.
+    """
     spec = workload_spec or WorkloadSpec(
         query_count=profile.query_count,
         interarrival_s=interarrival_s,
@@ -100,14 +114,24 @@ def run_cell(system: CloudSystem, profile: ExperimentProfile, scheme_name: str,
     scheme = system.scheme(scheme_name, economic_config=EconomicSchemeConfig(
         economy=EconomyConfig(planning=profile.planning),
     ))
+    observers = []
+    recorder = None
+    if trace:
+        from repro.obs.metrics import attach_observability
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder(
+            source=f"{scheme_name}@{interarrival_s:g}")
+        observers = attach_observability(scheme, trace=recorder)
     simulation = CloudSimulation(
         scheme, SimulationConfig(warmup_queries=profile.warmup_queries)
     )
-    result = simulation.run(workload)
+    result = simulation.run(workload, observers=observers)
     return CellResult(
         scheme=scheme_name,
         interarrival_s=interarrival_s,
         summary=result.summary,
+        trace=recorder,
     )
 
 
@@ -127,19 +151,22 @@ def _cache_grid(profile: ExperimentProfile, grid: ExperimentGrid) -> None:
         _GRID_CACHE.popitem(last=False)
 
 
-def _run_cell_task(task: Tuple[ExperimentProfile, str, float]) -> CellResult:
+def _run_cell_task(task: Tuple[ExperimentProfile, str, float, bool]
+                   ) -> CellResult:
     """Worker entry point: run one cell in a fresh process.
 
     Each worker assembles its own :class:`CloudSystem`; the system is a
     deterministic function of the profile, so per-worker assembly cannot
-    change any result.
+    change any result. Traced cells carry their recorder back through
+    the result pickle (recorders are plain picklable data).
     """
-    profile, scheme_name, interarrival_s = task
-    return run_cell(build_system(profile), profile, scheme_name, interarrival_s)
+    profile, scheme_name, interarrival_s, trace = task
+    return run_cell(build_system(profile), profile, scheme_name,
+                    interarrival_s, trace=trace)
 
 
 def run_grid(profile: ExperimentProfile, use_cache: bool = True,
-             jobs: Optional[int] = None) -> ExperimentGrid:
+             jobs: Optional[int] = None, trace=None) -> ExperimentGrid:
     """Run the full (scheme x interval) grid for a profile.
 
     Args:
@@ -149,23 +176,32 @@ def run_grid(profile: ExperimentProfile, use_cache: bool = True,
             runs sequentially in-process. The parallel path produces
             cell-for-cell identical results (the cells are independent
             and individually deterministic).
+        trace: optional :class:`~repro.obs.trace.TraceRecorder` the grid
+            records into — every cell runs its own source-tagged
+            recorder (``scheme@interval``), absorbed here in cell order,
+            so the sequential and parallel traced grids emit the same
+            lines. Traced grids bypass the cache (cached grids carry no
+            recorders) and are not cached; the tables stay
+            byte-identical either way.
     """
     worker_count = 1 if jobs is None else int(jobs)
     if worker_count < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    if use_cache and profile in _GRID_CACHE:
+    traced = trace is not None
+    if use_cache and not traced and profile in _GRID_CACHE:
         _GRID_CACHE.move_to_end(profile)
         return _GRID_CACHE[profile]
     tasks = [
-        (profile, scheme_name, interarrival)
+        (profile, scheme_name, interarrival, traced)
         for interarrival in profile.interarrival_times_s
         for scheme_name in profile.schemes
     ]
     if worker_count == 1:
         system = build_system(profile)
         cells = [
-            run_cell(system, profile, scheme_name, interarrival)
-            for _, scheme_name, interarrival in tasks
+            run_cell(system, profile, scheme_name, interarrival,
+                     trace=traced)
+            for _, scheme_name, interarrival, _ in tasks
         ]
     else:
         with ProcessPoolExecutor(
@@ -173,8 +209,12 @@ def run_grid(profile: ExperimentProfile, use_cache: bool = True,
             # executor.map preserves task order, so the grid's insertion
             # order — and therefore every table — matches the sequential run.
             cells = list(executor.map(_run_cell_task, tasks))
+    if traced:
+        for cell in cells:
+            if cell.trace is not None:
+                trace.absorb(cell.trace)
     grid = ExperimentGrid(profile, cells)
-    if use_cache:
+    if use_cache and not traced:
         _cache_grid(profile, grid)
     return grid
 

@@ -104,6 +104,7 @@ def baseline_config(config: TenantExperimentConfig) -> TenantExperimentConfig:
 
 def audited_shock_cell(
         config: TenantExperimentConfig,
+        trace=None, metrics=None,
 ) -> Tuple[TenantCellResult, Optional[ConservationAudit]]:
     """Run one shocked cell and audit conservation on the live engine.
 
@@ -111,7 +112,9 @@ def audited_shock_cell(
     step (the cell result is bitwise identical to it) but keeps the
     scheme in hand so the provider account, outcomes, and wallet ledgers
     can be folded before they are thrown away. The bypass baseline has
-    no economy, so its audit is ``None``.
+    no economy, so its audit is ``None``. ``trace``/``metrics`` attach
+    under the zero-perturbation contract, exactly as in
+    :func:`~repro.experiments.tenants.run_tenant_cell`.
     """
     populated = build_population(config)
     system = CloudSystem()
@@ -130,6 +133,12 @@ def audited_shock_cell(
                 tenants=registry,
             )
         )
+    observers = []
+    if trace is not None or metrics is not None:
+        from repro.obs.metrics import attach_observability
+
+        observers = attach_observability(scheme, trace=trace,
+                                         metrics=metrics)
     simulation = CloudSimulation(
         scheme, SimulationConfig(
             warmup_queries=config.warmup_queries,
@@ -139,6 +148,7 @@ def audited_shock_cell(
     result = simulation.run(
         populated.queries,
         tenant_lifecycle=populated.lifecycle,
+        observers=observers,
         shock_events=compile_shock_events(config.shocks, populated.queries),
     )
 
@@ -175,15 +185,24 @@ def audited_shock_cell(
     return cell, audit
 
 
-def _resilience_pair(config: TenantExperimentConfig) -> SchemeResilience:
-    """Worker entry point: one scheme's clean + shocked + audit."""
+def _resilience_pair(config: TenantExperimentConfig,
+                     trace=None, metrics=None) -> SchemeResilience:
+    """Worker entry point: one scheme's clean + shocked + audit.
+
+    The clean twin runs unobserved — the recorders describe the *faulted*
+    replay, which is the one the resilience table and the conservation
+    audit interrogate.
+    """
     clean = run_tenant_cell(baseline_config(config))
-    shocked, audit = audited_shock_cell(config)
+    shocked, audit = audited_shock_cell(config, trace=trace,
+                                        metrics=metrics)
     return SchemeResilience(baseline=clean, shocked=shocked, audit=audit)
 
 
 def run_shock_resilience(configs: Sequence[TenantExperimentConfig],
-                         jobs: Optional[int] = None) -> List[SchemeResilience]:
+                         jobs: Optional[int] = None,
+                         trace=None,
+                         metrics=None) -> List[SchemeResilience]:
     """Run paired clean/shocked cells for every config (typically one per
     scheme), optionally fanned over worker processes.
 
@@ -194,6 +213,13 @@ def run_shock_resilience(configs: Sequence[TenantExperimentConfig],
         jobs: worker processes; ``None`` or 1 runs sequentially. Each
             pair is deterministic, so the parallel results are
             byte-identical and come back in ``configs`` order.
+        trace: optional :class:`~repro.obs.trace.TraceRecorder` recording
+            the shocked cells (the clean twins stay unobserved); observed
+            runs execute sequentially so records land in one recorder —
+            the results are byte-identical either way.
+        metrics: optional :class:`~repro.obs.metrics.MetricsTimeseries`
+            sampled at the shocked cells' settlement barriers, same
+            contract.
     """
     cells = list(configs)
     if not cells:
@@ -208,6 +234,9 @@ def run_shock_resilience(configs: Sequence[TenantExperimentConfig],
     worker_count = 1 if jobs is None else int(jobs)
     if worker_count < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if trace is not None or metrics is not None:
+        return [_resilience_pair(config, trace=trace, metrics=metrics)
+                for config in cells]
     if worker_count == 1 or len(cells) == 1:
         return [_resilience_pair(config) for config in cells]
     with ProcessPoolExecutor(

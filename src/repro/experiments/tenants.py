@@ -150,7 +150,7 @@ def build_population(config: TenantExperimentConfig) -> PopulatedWorkload:
 
 
 def run_tenant_cell(config: TenantExperimentConfig,
-                    trace=None) -> TenantCellResult:
+                    trace=None, metrics=None) -> TenantCellResult:
     """Run one scheme over one populated workload.
 
     The econ-* schemes get a :class:`TenantRegistry` pre-loaded with the
@@ -163,6 +163,8 @@ def run_tenant_cell(config: TenantExperimentConfig,
         trace: optional :class:`~repro.obs.trace.TraceRecorder`; attaching
             one is observation-only — the cell result stays byte-identical
             to the untraced run (the zero-perturbation contract).
+        metrics: optional :class:`~repro.obs.metrics.MetricsTimeseries`
+            sampled at every settlement barrier under the same contract.
     """
     populated = build_population(config)
     system = CloudSystem()
@@ -182,15 +184,11 @@ def run_tenant_cell(config: TenantExperimentConfig,
             )
         )
     observers = []
-    if trace is not None:
-        from repro.obs.trace import kernel_observer_pair
+    if trace is not None or metrics is not None:
+        from repro.obs.metrics import attach_observability
 
-        engine = getattr(scheme, "engine", None)
-        if engine is not None:
-            engine.attach_trace(trace)
-        else:
-            scheme.cache.attach_trace(trace)
-        observers.append(kernel_observer_pair(trace))
+        observers = attach_observability(scheme, trace=trace,
+                                         metrics=metrics)
     simulation = CloudSimulation(
         scheme, SimulationConfig(
             warmup_queries=config.warmup_queries,
@@ -237,7 +235,8 @@ def sorted_breakdowns(steps) -> Tuple[TenantBreakdown, ...]:
 def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
                           jobs: Optional[int] = None,
                           shards: Optional[int] = None,
-                          trace=None) -> List[TenantCellResult]:
+                          trace=None,
+                          metrics=None) -> List[TenantCellResult]:
     """Run many population cells, optionally fanned over worker processes.
 
     Args:
@@ -255,6 +254,10 @@ def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
             (merged at the barriers) which are absorbed here; the unsharded
             traced path runs cells sequentially so records land in one
             recorder — the cell *results* are identical either way.
+        metrics: optional :class:`~repro.obs.metrics.MetricsTimeseries`
+            handled symmetrically to ``trace`` (per-shard collectors
+            absorbed from the merge reports; observed unsharded cells run
+            sequentially).
     """
     cells = list(configs)
     if not cells:
@@ -270,15 +273,21 @@ def run_tenant_experiment(configs: Sequence[TenantExperimentConfig],
         from repro.sharding import ShardCoordinator
 
         coordinator = ShardCoordinator(shard_count, max_workers=worker_count,
-                                       trace=trace is not None)
+                                       trace=trace is not None,
+                                       metrics=metrics is not None)
         reports = coordinator.run_cells(cells)
         if trace is not None:
             for report in reports:
                 if report.trace is not None:
                     trace.absorb(report.trace)
+        if metrics is not None:
+            for report in reports:
+                if report.metrics is not None:
+                    metrics.absorb(report.metrics)
         return [report.cell for report in reports]
-    if trace is not None:
-        return [run_tenant_cell(config, trace=trace) for config in cells]
+    if trace is not None or metrics is not None:
+        return [run_tenant_cell(config, trace=trace, metrics=metrics)
+                for config in cells]
     if worker_count == 1 or len(cells) == 1:
         return [run_tenant_cell(config) for config in cells]
     with ProcessPoolExecutor(

@@ -46,6 +46,36 @@ def _git_sha() -> Optional[str]:
     return sha if completed.returncode == 0 and sha else None
 
 
+def profile_hotspots(profiler: "cProfile.Profile",
+                     top_n: int = 15) -> list:
+    """The top-N cumulative-time hotspots of a finished cProfile run.
+
+    Returns JSON-ready dicts (``function``, ``cumtime_s``, ``tottime_s``,
+    ``calls``) sorted by cumulative time, ready to fold into a manifest's
+    ``extra`` under ``profile_top``. Spot-precision floats are rounded to
+    microseconds so manifests stay diff-friendly.
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    hotspots = []
+    for func in stats.fcn_list[:top_n]:  # type: ignore[attr-defined]
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]
+        filename, lineno, name = func
+        if filename == "~":
+            location = name  # built-ins have no file
+        else:
+            location = f"{filename}:{lineno}({name})"
+        hotspots.append({
+            "function": location,
+            "cumtime_s": round(cumtime, 6),
+            "tottime_s": round(tottime, 6),
+            "calls": nc,
+        })
+    return hotspots
+
+
 def _numpy_version() -> Optional[str]:
     try:
         import numpy

@@ -23,12 +23,35 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.history import (
+    RegressionGates,
+    bench_config_hash,
+    compute_deltas,
+    history_metrics,
+    latest_comparable,
+    load_history,
+)
 from repro.obs.manifest import build_manifest
+from repro.obs.metrics import METRICS_SCHEMA_VERSION
 from repro.obs.schema import BENCH_GATES, validate_bench, validate_report
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 
 #: Bumped whenever report.json's shape changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+#: v2 added the optional ``baseline`` (bench-to-bench regression deltas)
+#: and ``grids`` (figure/headline tables) sections plus the delta/perf
+#: summary columns rendered when a baseline is supplied.
+REPORT_SCHEMA_VERSION = 2
+
+#: The one metric per benchmark kind the summary table's delta column
+#: shows (the full per-metric delta list lives in the ``baseline``
+#: section). Names match :data:`repro.obs.history.METRIC_DIRECTIONS`.
+PRIMARY_METRIC: Dict[str, str] = {
+    "sharding": "best_queries_per_s",
+    "distcache": "best_queries_per_s",
+    "placement": "remote_surcharge_dollars",
+    "planner": "batched_cold_queries_per_s",
+    "shocks": "clean_queries_per_s",
+}
 
 #: The five benchmark kinds the perf history is expected to cover,
 #: mapped to their canonical checked-in file names.
@@ -179,17 +202,135 @@ def _trace_summary(path: str) -> Dict[str, object]:
     summary["sources"] = header.get("sources", [])
     summary["events"] = events
     summary["counters"] = counters
-    if header.get("schema_version") != TRACE_SCHEMA_VERSION:
-        summary["problem"] = (
-            f"trace schema version {header.get('schema_version')!r} != "
-            f"{TRACE_SCHEMA_VERSION}")
+    kind = header.get("kind")
+    if kind == "metrics_header":
+        # Metrics timeseries share the JSONL artifact surface; their
+        # event lines are per-epoch samples.
+        summary["artifact"] = "metrics"
+        if header.get("schema_version") != METRICS_SCHEMA_VERSION:
+            summary["problem"] = (
+                f"metrics schema version {header.get('schema_version')!r} "
+                f"!= {METRICS_SCHEMA_VERSION}")
+    else:
+        summary["artifact"] = "trace"
+        if header.get("schema_version") != TRACE_SCHEMA_VERSION:
+            summary["problem"] = (
+                f"trace schema version {header.get('schema_version')!r} != "
+                f"{TRACE_SCHEMA_VERSION}")
     return summary
 
 
+def _baseline_section(ingests: Sequence[BenchIngest],
+                      baseline_dir: str,
+                      gates: RegressionGates,
+                      warnings: List[str]) -> Dict[str, object]:
+    """Compare every valid bench against its newest comparable record.
+
+    Incomparable benches (no history, or every record's config hash
+    differs — e.g. CI's reduced sizes against the checked-in full-size
+    history) render as ``comparable: false`` with no warning: a size
+    mismatch is expected, a slowdown is not. Warn/fail deltas append to
+    the report's warnings so CI can grep one place.
+    """
+    records, problems = load_history(baseline_dir)
+    warnings.extend(problems)
+    benches: Dict[str, object] = {}
+    for ingest in ingests:
+        if not ingest.valid or not ingest.data:
+            continue
+        entry: Dict[str, object] = {"comparable": False, "deltas": []}
+        history = records.get(ingest.kind, [])
+        baseline = latest_comparable(
+            history, bench_config_hash(ingest.data))
+        if baseline is None:
+            entry["reason"] = (
+                "no comparable history record (same config hash)"
+                if history else "no history records for this benchmark")
+        else:
+            deltas = compute_deltas(history_metrics(ingest.data),
+                                    baseline, gates)
+            entry.update({
+                "comparable": True,
+                "baseline_git_sha": baseline.git_sha,
+                "baseline_recorded_at": baseline.recorded_at,
+                "deltas": [
+                    {"metric": delta.name,
+                     "current": delta.current,
+                     "baseline": delta.baseline,
+                     "change": delta.change,
+                     "regression": delta.regression,
+                     "status": delta.status}
+                    for delta in deltas
+                ],
+            })
+            for delta in deltas:
+                if delta.status in ("warn", "fail"):
+                    warnings.append(
+                        f"{ingest.kind}: perf regression "
+                        f"{delta.status}: {delta.name} "
+                        f"{delta.baseline:g} -> {delta.current:g} "
+                        f"({delta.change:+.1%} vs baseline "
+                        f"{baseline.git_sha or 'unknown'})")
+        benches[ingest.kind] = entry
+    return {
+        "dir": baseline_dir,
+        "gates": {"warn_slowdown": gates.warn_slowdown,
+                  "fail_slowdown": gates.fail_slowdown},
+        "problems": problems,
+        "benches": benches,
+    }
+
+
+def _delta_cells(kind: str,
+                 baseline_section: Optional[Mapping[str, object]]
+                 ) -> Tuple[str, str]:
+    """The summary table's ``(delta, perf gate)`` cells for one bench."""
+    if baseline_section is None:
+        return "-", "-"
+    entry = baseline_section["benches"].get(kind)
+    if not entry or not entry.get("comparable"):
+        return "-", "-"
+    deltas = entry.get("deltas") or []
+    primary_name = PRIMARY_METRIC.get(kind)
+    primary = next((delta for delta in deltas
+                    if delta["metric"] == primary_name), None)
+    if primary is None:
+        gated = [d for d in deltas if d.get("regression") is not None]
+        primary = gated[0] if gated else None
+    cell = f"{primary['change']:+.1%}" if primary else "-"
+    worst = "ok"
+    for delta in deltas:
+        status = delta.get("status")
+        if status == "fail":
+            worst = "FAIL"
+            break
+        if status == "warn":
+            worst = "warn"
+    if not any(d.get("regression") is not None for d in deltas):
+        worst = "-"
+    return cell, worst
+
+
 def render_report(bench_paths: Sequence[str],
-                  trace_paths: Sequence[str] = ()
+                  trace_paths: Sequence[str] = (),
+                  baseline_dir: Optional[str] = None,
+                  gates: Optional[RegressionGates] = None,
+                  grid_tables: Optional[Mapping[str, str]] = None,
+                  grid_profile: Optional[str] = None
                   ) -> Tuple[Dict[str, object], str]:
     """Render the report document and its markdown view.
+
+    Args:
+        bench_paths: BENCH_*.json files to ingest (fail-soft).
+        trace_paths: ``*.jsonl`` trace/metrics artifacts to summarize.
+        baseline_dir: bench-history directory; when set, every valid
+            bench is compared against its newest comparable record and
+            the summary table gains delta + perf-gate columns.
+        gates: warn/fail slowdown thresholds (defaults per
+            :class:`~repro.obs.history.RegressionGates`).
+        grid_tables: pre-rendered figure/headline tables to fold in as
+            the ``grids`` section (keyed ``headline``/``figure4``/...).
+        grid_profile: the experiment profile the grid tables ran.
 
     Returns:
         ``(report, markdown)`` where ``report`` is schema-valid against
@@ -200,6 +341,12 @@ def render_report(bench_paths: Sequence[str],
 
     ingests = ingest_bench_files(bench_paths)
     warnings: List[str] = []
+
+    baseline: Optional[Dict[str, object]] = None
+    if baseline_dir is not None:
+        baseline = _baseline_section(ingests, baseline_dir,
+                                     gates or RegressionGates(), warnings)
+
     benches: Dict[str, object] = {}
     summary_rows: List[Dict[str, object]] = []
     for ingest in ingests:
@@ -210,14 +357,19 @@ def render_report(bench_paths: Sequence[str],
             "problems": list(ingest.problems),
             "headline": headline,
         }
-        summary_rows.append({
+        row: Dict[str, object] = {
             "benchmark": ingest.kind,
             "file": os.path.basename(ingest.path),
             "status": ingest.status,
             "runs": headline.get("runs", 0),
             "gate": headline.get("gate", "-"),
             "gate_ok": headline.get("gate_ok"),
-        })
+        }
+        if baseline is not None:
+            delta_cell, perf_cell = _delta_cells(ingest.kind, baseline)
+            row["delta"] = delta_cell
+            row["perf"] = perf_cell
+        summary_rows.append(row)
         if ingest.status == "missing":
             warnings.append(
                 f"bench file for {ingest.kind!r} not supplied "
@@ -240,6 +392,13 @@ def render_report(bench_paths: Sequence[str],
         "traces": traces,
         "warnings": warnings,
     }
+    if baseline is not None:
+        report["baseline"] = baseline
+    if grid_tables:
+        report["grids"] = {
+            "profile": grid_profile,
+            "tables": dict(grid_tables),
+        }
     self_check = validate_report(report)
     if self_check:  # pragma: no cover - guarded by the schema tests
         raise AssertionError(
@@ -255,7 +414,13 @@ def _gate_cell(row: Mapping[str, object]) -> str:
 
 
 def _render_markdown(report: Mapping[str, object]) -> str:
-    """The markdown view of a rendered report document."""
+    """The markdown view of a rendered report document.
+
+    The delta/perf columns render only when the report carries a
+    ``baseline`` section, so baseline-less reports stay byte-identical
+    to schema v1 output.
+    """
+    baseline = report.get("baseline")
     lines = [
         "# Perf-history report",
         "",
@@ -264,13 +429,50 @@ def _render_markdown(report: Mapping[str, object]) -> str:
         "",
         "## Bench summary",
         "",
-        "| benchmark | file | status | runs | gate | gate ok |",
-        "| --- | --- | --- | --- | --- | --- |",
     ]
+    if baseline is not None:
+        lines.extend([
+            "| benchmark | file | status | runs | gate | gate ok "
+            "| delta | perf |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        ])
+    else:
+        lines.extend([
+            "| benchmark | file | status | runs | gate | gate ok |",
+            "| --- | --- | --- | --- | --- | --- |",
+        ])
     for row in report["summary"]:
-        lines.append(
+        cells = (
             f"| {row['benchmark']} | {row['file']} | {row['status']} "
             f"| {row['runs']} | {row['gate']} | {_gate_cell(row)} |")
+        if baseline is not None:
+            cells += f" {row.get('delta', '-')} | {row.get('perf', '-')} |"
+        lines.append(cells)
+    if baseline is not None:
+        lines.extend([
+            "", "## Baseline deltas", "",
+            f"Compared against history in `{baseline['dir']}` "
+            f"(warn at {baseline['gates']['warn_slowdown']:.0%}, fail at "
+            f"{baseline['gates']['fail_slowdown']:.0%} regression).",
+            "",
+        ])
+        for kind, entry in sorted(baseline["benches"].items()):
+            if not entry.get("comparable"):
+                lines.append(
+                    f"- {kind}: not comparable — "
+                    f"{entry.get('reason', 'unknown reason')}")
+                continue
+            sha = entry.get("baseline_git_sha") or "unknown"
+            lines.append(
+                f"- {kind} (baseline {sha} @ "
+                f"{entry.get('baseline_recorded_at')}):")
+            for delta in entry.get("deltas", []):
+                status = delta["status"]
+                marker = status.upper() if status == "fail" else status
+                lines.append(
+                    f"  - {delta['metric']}: {delta['baseline']:g} -> "
+                    f"{delta['current']:g} ({delta['change']:+.1%}) "
+                    f"[{marker}]")
     for kind, entry in report["benches"].items():
         headline = entry.get("headline") or {}
         detail = {key: value for key, value in headline.items()
@@ -290,6 +492,16 @@ def _render_markdown(report: Mapping[str, object]) -> str:
                 f"{trace.get('counters', 0)} counters, "
                 f"sources {trace.get('sources')}")
             lines.append(f"- `{trace['path']}` — {status}")
+    grids = report.get("grids")
+    if grids:
+        profile = grids.get("profile")
+        lines.extend([
+            "", "## Grids", "",
+            f"Figure/headline tables (profile: {profile or 'default'}).",
+        ])
+        for name, table in sorted(grids.get("tables", {}).items()):
+            lines.extend(["", f"### {name}", "", "```", table.rstrip(),
+                          "```"])
     warnings = report.get("warnings") or []
     if warnings:
         lines.extend(["", "## Warnings", ""])
@@ -302,7 +514,12 @@ def _render_markdown(report: Mapping[str, object]) -> str:
 def write_report_artifacts(bench_paths: Sequence[str],
                            out_dir: str,
                            trace_paths: Sequence[str] = (),
-                           force: bool = False) -> Dict[str, str]:
+                           force: bool = False,
+                           baseline_dir: Optional[str] = None,
+                           gates: Optional[RegressionGates] = None,
+                           grid_tables: Optional[Mapping[str, str]] = None,
+                           grid_profile: Optional[str] = None
+                           ) -> Dict[str, str]:
     """Write ``report.json`` / ``report.md`` / ``report.manifest.json``.
 
     Args:
@@ -310,6 +527,11 @@ def write_report_artifacts(bench_paths: Sequence[str],
         out_dir: output directory (created if needed).
         trace_paths: optional ``*.jsonl`` trace artifacts to summarize.
         force: overwrite existing artifacts.
+        baseline_dir: optional bench-history directory for regression
+            deltas (see :func:`render_report`).
+        gates: warn/fail slowdown thresholds for the baseline deltas.
+        grid_tables: optional pre-rendered figure/headline tables.
+        grid_profile: the experiment profile the grid tables ran.
 
     Returns:
         Mapping of artifact kind to written path.
@@ -317,7 +539,9 @@ def write_report_artifacts(bench_paths: Sequence[str],
     Raises:
         FileExistsError: an artifact exists and ``force`` is off.
     """
-    report, markdown = render_report(bench_paths, trace_paths)
+    report, markdown = render_report(
+        bench_paths, trace_paths, baseline_dir=baseline_dir, gates=gates,
+        grid_tables=grid_tables, grid_profile=grid_profile)
     os.makedirs(out_dir, exist_ok=True)
     targets = {
         "json": os.path.join(out_dir, "report.json"),
@@ -333,12 +557,18 @@ def write_report_artifacts(bench_paths: Sequence[str],
         handle.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
     with open(targets["markdown"], "w", encoding="utf-8") as handle:
         handle.write(markdown)
+    effective_gates = gates or RegressionGates()
     manifest = build_manifest(
         "report",
         config={"bench_paths": sorted(os.path.basename(p)
                                       for p in bench_paths),
                 "trace_paths": sorted(os.path.basename(p)
-                                      for p in trace_paths)},
+                                      for p in trace_paths),
+                "baseline_dir": baseline_dir,
+                "gates": ({"warn_slowdown": effective_gates.warn_slowdown,
+                           "fail_slowdown": effective_gates.fail_slowdown}
+                          if baseline_dir is not None else None),
+                "grids": sorted(grid_tables) if grid_tables else None},
         extra={"report_schema_version": REPORT_SCHEMA_VERSION,
                "warnings": len(report["warnings"])},
     )

@@ -60,10 +60,11 @@ class ShardCoordinator:
     """Executes tenant cells as sharded runs and merges them exactly."""
 
     def __init__(self, shard_count: int, max_workers: int = 1,
-                 trace: bool = False) -> None:
+                 trace: bool = False, metrics: bool = False) -> None:
         self._plan = ShardPlan(shard_count=shard_count,
                                max_workers=max_workers)
         self._trace = trace
+        self._metrics = metrics
 
     @property
     def plan(self) -> ShardPlan:
@@ -86,7 +87,8 @@ class ShardCoordinator:
             )
         return [
             ShardTask(config=config, shard_index=index,
-                      shard_count=self.shard_count, trace=self._trace)
+                      shard_count=self.shard_count, trace=self._trace,
+                      metrics=self._metrics)
             for index in range(self.shard_count)
         ]
 

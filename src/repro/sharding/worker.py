@@ -28,7 +28,8 @@ from typing import List, Optional, Tuple
 from repro.economy.account import CloudAccount
 from repro.economy.engine import EconomyConfig
 from repro.errors import ShardingError
-from repro.obs.trace import TraceRecorder, kernel_observer_pair
+from repro.obs.metrics import MetricsTimeseries, attach_observability
+from repro.obs.trace import TraceRecorder
 from repro.experiments.tenants import (
     TenantExperimentConfig,
     build_population,
@@ -52,6 +53,7 @@ class ShardTask:
     shard_index: int
     shard_count: int
     trace: bool = False
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         TenantPartitioner(self.shard_count).validate_index(self.shard_index)
@@ -93,6 +95,7 @@ class ShardResult:
     population_size: int
     churn_waves: int
     trace: Optional[TraceRecorder] = None
+    metrics: Optional[MetricsTimeseries] = None
 
 
 class SettlementCheckpointRecorder:
@@ -169,18 +172,20 @@ class ShardWorker:
             observers.append((MaintenanceSettlementEvent, recorder))
 
         trace: Optional[TraceRecorder] = None
-        if task.trace:
-            # Per-shard recorder, merged by the coordinator at the same
-            # barriers that align the settlement checkpoints. Counters stay
-            # tagged with this shard's source so the replicated replay is
-            # reported per shard, never double-counted.
-            trace = TraceRecorder(source=f"shard{task.shard_index}")
-            engine = getattr(scheme, "engine", None)
-            if engine is not None:
-                engine.attach_trace(trace)
-            else:
-                scheme.cache.attach_trace(trace)
-            observers.append(kernel_observer_pair(trace))
+        metrics: Optional[MetricsTimeseries] = None
+        if task.trace or task.metrics:
+            # Per-shard recorders, merged by the coordinator at the same
+            # barriers that align the settlement checkpoints. Counters and
+            # samples stay tagged with this shard's source so the
+            # replicated replay is reported per shard, never
+            # double-counted.
+            if task.trace:
+                trace = TraceRecorder(source=f"shard{task.shard_index}")
+            if task.metrics:
+                metrics = MetricsTimeseries(
+                    source=f"shard{task.shard_index}")
+            observers.extend(attach_observability(scheme, trace=trace,
+                                                  metrics=metrics))
 
         simulation = CloudSimulation(scheme, SimulationConfig(
             warmup_queries=config.warmup_queries,
@@ -236,6 +241,7 @@ class ShardWorker:
             population_size=populated.tenant_count,
             churn_waves=populated.churn_waves,
             trace=trace,
+            metrics=metrics,
         )
 
 
