@@ -30,14 +30,19 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Set, Tuple)
 
 from repro.economy.account import CloudAccount
 from repro.economy.budget import BudgetFunction
 from repro.economy.regret import RegretTracker
 from repro.economy.user_model import UserModel
 from repro.errors import EconomyError
+from repro.workload.population import tenant_id_for
 from repro.workload.query import Query
+
+if TYPE_CHECKING:
+    from repro.workload.population import GenerativeProfileSource
 
 #: Tenant id carried by queries that predate (or ignore) multi-tenancy.
 DEFAULT_TENANT_ID = "default"
@@ -367,3 +372,306 @@ class TenantRegistry:
     def credit_by_tenant(self) -> Dict[str, float]:
         """Wallet balance per tenant id, in registration order."""
         return {tid: state.account.credit for tid, state in self._states.items()}
+
+    def live_tenant_count(self) -> int:
+        """Number of tenants the registry currently considers active.
+
+        With eager registration every profile starts active at
+        construction, so the gauge counts "registered minus churned"; the
+        generative subclass refines it to "arrived minus churned".
+        """
+        return sum(1 for state in self._states.values() if state.active)
+
+
+class GenerativeTenantRegistry(TenantRegistry):
+    """A registry whose tenants exist only while the simulation needs them.
+
+    The eager :class:`TenantRegistry` holds one :class:`TenantState` per
+    population member for the whole run — fine at 10^3 tenants, fatal at
+    10^6. This subclass instead derives profiles on demand from a
+    :class:`~repro.workload.population.GenerativeProfileSource` (a pure
+    function of ``(population seed, tenant index)``):
+
+    * **arrival** (:meth:`activate`) only advances the mint high-water
+      mark and the seed-credit aggregate — O(1) amortised, no state
+      object;
+    * the full :class:`TenantState` materialises lazily at the tenant's
+      first query (:meth:`ensure`, reached via ``budget_for``/``charge``);
+    * **churn** (:meth:`deactivate`) *drops* the state again, compressing
+      a charged wallet to two floats in an archive (a tenant that never
+      paid anything needs no archive at all — rematerialisation rebuilds
+      it exactly). A returning tenant resumes with its archived balance,
+      honouring the base class's retention contract.
+
+    Resident full states are therefore bounded by the tenants that are
+    both *live and charged* plus the churned-but-charged archive (two
+    floats each) — never by the total population. Aggregates
+    (:meth:`total_credit`, :meth:`total_charged`) are maintained as O(1)
+    running sums; per-tenant wallet values are bitwise identical to the
+    eager registry's, because each materialised wallet replays exactly
+    the charges the eager wallet received.
+
+    Args:
+        source: the pure profile derivation.
+        owns: optional ownership predicate ``(index, tenant_id) -> bool``
+            restricting which tenants this registry accounts for (the
+            sharded execution layer passes its partitioner; ``None`` owns
+            everything). Foreign tenants are tracked only through the
+            mint high-water mark so their profiles stay derivable.
+
+    Example:
+        >>> from repro.workload.population import (GenerativeProfileSource,
+        ...                                        PopulationSpec)
+        >>> source = GenerativeProfileSource(PopulationSpec(
+        ...     tenant_count=4, initial_credit=10.0))
+        >>> registry = GenerativeTenantRegistry(source)
+        >>> _ = registry.activate("t00000", now=0.0)
+        >>> _ = registry.activate("t00001", now=0.0)
+        >>> registry.materialized_tenant_count()   # arrivals mint no state
+        0
+        >>> registry.charge("t00001", 2.5, now=1.0)
+        >>> registry.materialized_tenant_count(), round(registry.total_credit(), 6)
+        (1, 17.5)
+        >>> _ = registry.deactivate("t00001", now=2.0)    # state dropped...
+        >>> registry.materialized_tenant_count()
+        0
+        >>> round(registry.credit_by_tenant()["t00001"], 6)  # ...balance kept
+        7.5
+    """
+
+    def __init__(self, source: "GenerativeProfileSource",
+                 owns: Optional[Callable[[Optional[int], str], bool]] = None
+                 ) -> None:
+        super().__init__()
+        self._source = source
+        self._owns = owns
+        self._minted = 0
+        self._owned_minted = 0
+        self._seed_total = 0.0
+        self._withdrawn_total = 0.0
+        self._live_indices: Set[int] = set()
+        self._archived: Dict[int, Tuple[float, float]] = {}
+        self._adhoc_ids: List[str] = []
+        self.peak_materialized = 0
+
+    # -- generative internals --------------------------------------------------
+
+    @property
+    def source(self) -> "GenerativeProfileSource":
+        """The pure profile derivation backing this registry."""
+        return self._source
+
+    @property
+    def population_minted(self) -> int:
+        """Population indices observed so far (owned and foreign alike)."""
+        return self._minted
+
+    def _owned_index(self, index: Optional[int], tenant_id: str) -> bool:
+        return self._owns is None or self._owns(index, tenant_id)
+
+    def _advance_minted(self, new_minted: int) -> None:
+        """Observe population indices up to ``new_minted`` (exclusive).
+
+        Minting is pure bookkeeping: for each newly observed *owned*
+        index the seed credit joins the conserved total, exactly as the
+        eager path's up-front registration would have deposited it.
+        """
+        for index in range(self._minted, new_minted):
+            if self._owned_index(index, tenant_id_for(index)):
+                self._owned_minted += 1
+                self._seed_total += self._source.initial_credit_for(index)
+        if new_minted > self._minted:
+            self._minted = new_minted
+
+    def _materialize(self, index: int) -> TenantState:
+        """Build the full state of an owned population tenant on demand."""
+        state = TenantState(self._source.profile_for(index))
+        archived = self._archived.pop(index, None)
+        if archived is not None:
+            credit, withdrawn = archived
+            spent = state.account.credit - credit
+            if spent > 0:
+                # Restore the archived balance through the ledger so the
+                # wallet's credit is bitwise the archived value; the
+                # running aggregates already counted these charges, so
+                # they are NOT re-added to ``_withdrawn_total``.
+                state.account.withdraw(spent, 0.0, CATEGORY_TENANT_CHARGE,
+                                       note="rematerialized")
+            state.active = index in self._live_indices
+        self._states[state.tenant_id] = state
+        if len(self._states) > self.peak_materialized:
+            self.peak_materialized = len(self._states)
+        return state
+
+    # -- overridden registry surface -------------------------------------------
+
+    def register(self, profile: TenantProfile) -> TenantState:
+        """Register an ad-hoc tenant; population profiles are generative.
+
+        Explicitly registering a population member would shadow the pure
+        derivation (and break the drop-at-churn contract), so only ids
+        outside the population's id scheme are accepted.
+        """
+        if self._source.index_of(profile.tenant_id) is not None:
+            raise EconomyError(
+                f"tenant {profile.tenant_id!r} is a population member; its "
+                "profile is generative and must not be registered explicitly"
+            )
+        state = super().register(profile)
+        self._adhoc_ids.append(profile.tenant_id)
+        if len(self._states) > self.peak_materialized:
+            self.peak_materialized = len(self._states)
+        return state
+
+    def ensure(self, tenant_id: str) -> TenantState:
+        state = self._states.get(tenant_id)
+        if state is not None:
+            return state
+        index = self._source.index_of(tenant_id)
+        if index is not None:
+            if not self._owned_index(index, tenant_id):
+                raise EconomyError(
+                    f"tenant {tenant_id!r} is not owned by this registry"
+                )
+            if index >= self._minted:
+                self._advance_minted(index + 1)
+            return self._materialize(index)
+        if not self._owned_index(None, tenant_id):
+            raise EconomyError(
+                f"tenant {tenant_id!r} is not owned by this registry"
+            )
+        # Auto-registration dispatches back through :meth:`register`, which
+        # records the ad-hoc id and the materialisation peak.
+        return super().ensure(tenant_id)
+
+    def activate(self, tenant_id: str, now: float = 0.0
+                 ) -> Optional[TenantState]:
+        """Observe an arrival; mints bookkeeping, not state.
+
+        Returns the tenant's state only if it happens to be materialised
+        already (re-arrival after traffic); a fresh arrival returns
+        ``None`` — the state appears at the tenant's first query.
+        """
+        index = self._source.index_of(tenant_id)
+        if index is None:
+            if not self._owned_index(None, tenant_id):
+                return None
+            return super().activate(tenant_id, now)
+        if index >= self._minted:
+            self._advance_minted(index + 1)
+        if not self._owned_index(index, tenant_id):
+            return None
+        self._live_indices.add(index)
+        state = self._states.get(tenant_id)
+        if state is not None:
+            state.active = True
+            state.activated_at_s = now
+            state.churned_at_s = None
+        return state
+
+    def deactivate(self, tenant_id: str, now: float = 0.0
+                   ) -> Optional[TenantState]:
+        """Observe a churn; drops the tenant's state, keeping its balance.
+
+        Unlike the eager base class this never raises for a tenant that
+        was announced but never materialised — that is the common case at
+        scale, and exactly the memory the generative registry saves.
+        """
+        index = self._source.index_of(tenant_id)
+        if index is None:
+            if not self._owned_index(None, tenant_id):
+                return None
+            return super().deactivate(tenant_id, now)
+        if not self._owned_index(index, tenant_id):
+            return None
+        self._live_indices.discard(index)
+        state = self._states.pop(tenant_id, None)
+        if state is not None:
+            state.active = False
+            state.churned_at_s = now
+            if state.account.total_withdrawn() > 0:
+                self._archived[index] = (state.account.credit,
+                                         state.account.total_withdrawn())
+        return state
+
+    def charge(self, tenant_id: str, amount: float, now: float = 0.0,
+               note: str = "") -> None:
+        super().charge(tenant_id, amount, now=now, note=note)
+        if amount > 0:
+            self._withdrawn_total += amount
+
+    def __contains__(self, tenant_id: str) -> bool:
+        index = self._source.index_of(tenant_id)
+        if index is not None:
+            return index < self._minted and self._owned_index(index, tenant_id)
+        return super().__contains__(tenant_id)
+
+    def __len__(self) -> int:
+        return self._owned_minted + len(self._adhoc_ids)
+
+    def tenant_ids(self) -> List[str]:
+        """All owned tenant ids ever minted, in mint order (O(minted))."""
+        ids = [tenant_id_for(index) for index in range(self._minted)
+               if self._owned_index(index, tenant_id_for(index))]
+        ids.extend(self._adhoc_ids)
+        return ids
+
+    def active_ids(self) -> List[str]:
+        """Ids of currently live owned tenants, in mint order."""
+        ids = [tenant_id_for(index) for index in sorted(self._live_indices)]
+        ids.extend(tid for tid in self._adhoc_ids
+                   if self._states[tid].active)
+        return ids
+
+    # ``states()`` intentionally keeps the base behaviour: it exposes the
+    # *materialised* states only. Enumerating every minted tenant would
+    # defeat the registry's purpose; callers that need population-wide
+    # values use ``credit_by_tenant`` / the aggregates below.
+
+    # -- aggregates ------------------------------------------------------------
+
+    def total_credit(self) -> float:
+        """Seed credit minted so far minus everything charged (O(1))."""
+        return self._seed_total - self._withdrawn_total
+
+    def total_charged(self) -> float:
+        """Every query payment charged to owned tenants so far (O(1))."""
+        return self._withdrawn_total
+
+    def seed_credit(self) -> float:
+        """Seed credit of every owned tenant minted so far (O(1))."""
+        return self._seed_total
+
+    def credit_by_tenant(self) -> Dict[str, float]:
+        """Wallet balance per owned tenant id, in mint order (O(minted)).
+
+        Bitwise identical to the eager registry's values: materialised
+        wallets replayed the same charges, archived wallets froze at
+        churn, and an untouched tenant's balance *is* its derivable seed
+        credit.
+        """
+        balances: Dict[str, float] = {}
+        for index in range(self._minted):
+            tenant_id = tenant_id_for(index)
+            if not self._owned_index(index, tenant_id):
+                continue
+            state = self._states.get(tenant_id)
+            if state is not None:
+                balances[tenant_id] = state.account.credit
+            elif index in self._archived:
+                balances[tenant_id] = self._archived[index][0]
+            else:
+                balances[tenant_id] = self._source.initial_credit_for(index)
+        for tenant_id in self._adhoc_ids:
+            balances[tenant_id] = self._states[tenant_id].account.credit
+        return balances
+
+    def live_tenant_count(self) -> int:
+        """Owned tenants that have arrived and not churned (O(live))."""
+        live = len(self._live_indices)
+        live += sum(1 for tid in self._adhoc_ids if self._states[tid].active)
+        return live
+
+    def materialized_tenant_count(self) -> int:
+        """Owned tenants currently holding a full state object."""
+        return len(self._states)

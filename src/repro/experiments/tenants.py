@@ -40,12 +40,23 @@ from repro.workload.grammar import (
     TenantTier,
     apply_tenant_tiers,
     compile_shock_events,
+    compile_shock_events_for_span,
 )
 from repro.workload.population import (
+    GenerativeProfileSource,
     PopulatedWorkload,
     PopulationSpec,
     TenantPopulation,
 )
+
+#: Arrival modes: ``eager`` materialises the populated workload up front
+#: (the original path); ``streamed`` feeds the kernel from a lazy
+#: generator with a generative tenant registry, bounding memory by the
+#: concurrently live tenants instead of the population. Outputs are
+#: byte-identical (the streamed fidelity gate).
+ARRIVAL_EAGER = "eager"
+ARRIVAL_STREAMED = "streamed"
+ARRIVAL_MODES = (ARRIVAL_EAGER, ARRIVAL_STREAMED)
 
 
 @dataclass(frozen=True)
@@ -72,6 +83,7 @@ class TenantExperimentConfig:
     tenant_tiers: Tuple[TenantTier, ...] = ()
     strict_maintenance: bool = False
     grammar: Optional[ScenarioGrammar] = None
+    arrival_mode: str = ARRIVAL_EAGER
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEME_NAMES:
@@ -88,6 +100,24 @@ class TenantExperimentConfig:
                 f"planning must be one of {PLANNING_MODES}, "
                 f"got {self.planning!r}"
             )
+        if self.arrival_mode not in ARRIVAL_MODES:
+            raise ExperimentError(
+                f"arrival_mode must be one of {ARRIVAL_MODES}, "
+                f"got {self.arrival_mode!r}"
+            )
+        if self.arrival_mode == ARRIVAL_STREAMED:
+            if self.planning != PLANNING_SCALAR:
+                raise ExperimentError(
+                    "streamed arrivals require scalar planning: batched "
+                    "planners prime whole epochs up front, which is "
+                    "exactly what streaming avoids"
+                )
+            if self.grammar is not None:
+                raise ExperimentError(
+                    "streamed arrivals do not support grammar-composed "
+                    "scenarios yet: a compiled scenario materialises its "
+                    "query stream by construction"
+                )
 
     def population_spec(self) -> PopulationSpec:
         """The population half of the configuration."""
@@ -166,6 +196,8 @@ def run_tenant_cell(config: TenantExperimentConfig,
         metrics: optional :class:`~repro.obs.metrics.MetricsTimeseries`
             sampled at every settlement barrier under the same contract.
     """
+    if config.arrival_mode == ARRIVAL_STREAMED:
+        return _run_streamed_cell(config, trace=trace, metrics=metrics)
     populated = build_population(config)
     system = CloudSystem()
     registry: Optional[TenantRegistry] = None
@@ -213,6 +245,83 @@ def run_tenant_cell(config: TenantExperimentConfig,
         wallet_credit=wallets,
         population_size=populated.tenant_count,
         churn_waves=populated.churn_waves,
+    )
+
+
+def _run_streamed_cell(config: TenantExperimentConfig,
+                       trace=None, metrics=None) -> TenantCellResult:
+    """Run one cell with streamed arrivals and a generative registry.
+
+    Nothing population-sized is materialised: queries flow from the
+    workload generator through a
+    :class:`~repro.workload.population.PopulationStream` into the kernel's
+    lookahead window, and tenant profiles derive on demand inside a
+    :class:`~repro.economy.tenancy.GenerativeTenantRegistry`. Per-cell
+    memory is bounded by the concurrently live (and charged) tenants plus
+    the arrival-time array — never by ``tenant_count``. The result is
+    byte-identical to the eager cell over the same config (the fidelity
+    gate pinned by the equivalence tests and the CI scale-smoke diff).
+    """
+    from repro.economy.tenancy import GenerativeTenantRegistry
+
+    population_spec = config.population_spec()
+    source = GenerativeProfileSource(spec=population_spec,
+                                     tiers=config.tenant_tiers)
+    generator = WorkloadGenerator(config.workload_spec())
+    envelope = generator.arrival_envelope()
+    stream = TenantPopulation(population_spec).stream(
+        generator.iter_queries(), source=source
+    )
+    system = CloudSystem()
+    registry = None
+    if config.scheme == "bypass":
+        scheme = system.scheme(config.scheme)
+    else:
+        registry = GenerativeTenantRegistry(source)
+        scheme = system.scheme(
+            config.scheme, economic_config=EconomicSchemeConfig(
+                economy=EconomyConfig(
+                    planning=config.planning,
+                    strict_maintenance=config.strict_maintenance,
+                ),
+                tenants=registry,
+            )
+        )
+    observers = []
+    if trace is not None or metrics is not None:
+        from repro.obs.metrics import attach_observability
+
+        # rss=True: the memory bound is the whole point of this path, so
+        # the sampler additionally gauges the process peak RSS (which is
+        # why streamed metrics files are not byte-reproducible run to
+        # run — the rendered tables still are).
+        observers = attach_observability(scheme, trace=trace,
+                                         metrics=metrics, rss=True)
+    simulation = CloudSimulation(
+        scheme, SimulationConfig(
+            warmup_queries=config.warmup_queries,
+            settlement_period_s=config.settlement_period_s,
+        )
+    )
+    result = simulation.run_streamed(
+        stream, envelope,
+        observers=observers,
+        shock_events=compile_shock_events_for_span(
+            config.shocks, envelope.start_s, envelope.last_s
+        ),
+    )
+
+    breakdowns = sorted_breakdowns(result.steps)
+    wallets: Tuple[Tuple[str, float], ...] = ()
+    if registry is not None:
+        wallets = tuple(registry.credit_by_tenant().items())
+    return TenantCellResult(
+        config=config,
+        summary=result.summary,
+        tenants=breakdowns,
+        wallet_credit=wallets,
+        population_size=stream.tenants_minted,
+        churn_waves=stream.churn_events,
     )
 
 

@@ -38,6 +38,7 @@ Example:
 from __future__ import annotations
 
 import json
+import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.simulator.events import MaintenanceSettlementEvent, QueryArrivalEvent
@@ -221,6 +222,26 @@ class MetricsTimeseries:
                 handle.write(line + "\n")
 
 
+def peak_rss_bytes() -> Optional[int]:
+    """This process's peak resident set size in bytes, or ``None``.
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — the high-water mark the
+    kernel tracked for the whole process lifetime, which is exactly the
+    quantity the memory-budget CI lane asserts on. Linux reports it in
+    KiB, macOS in bytes; platforms without ``resource`` report nothing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if usage <= 0:  # pragma: no cover - defensive
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(usage)
+    return int(usage) * 1024
+
+
 class MetricsSampler:
     """Read-only settlement observer that drives :meth:`sample`.
 
@@ -231,12 +252,23 @@ class MetricsSampler:
     components — all plain attribute/property reads; nothing is mutated
     and no RNG is touched, which is what keeps metrics-enabled runs
     byte-identical to disabled ones.
+
+    Args:
+        metrics: the collector to drive.
+        scheme: the scheme whose components the gauges read.
+        rss: also sample :func:`peak_rss_bytes` at every barrier.
+            Off by default because the OS high-water mark is **not**
+            deterministic across runs — only the streamed drivers (whose
+            memory bound it audits) enable it, keeping eager metrics
+            emission bitwise reproducible.
     """
 
-    def __init__(self, metrics: MetricsTimeseries, scheme) -> None:
+    def __init__(self, metrics: MetricsTimeseries, scheme,
+                 rss: bool = False) -> None:
         self._metrics = metrics
         self._engine = getattr(scheme, "engine", None)
         self._cache = scheme.cache
+        self._rss = rss
 
     def __call__(self, event: MaintenanceSettlementEvent, kernel) -> None:
         gauges: Dict[str, object] = {
@@ -255,12 +287,25 @@ class MetricsSampler:
             if registry is not None:
                 gauges["wallet_credit"] = registry.total_credit()
                 gauges["wallet_charged"] = registry.total_charged()
+                live = getattr(registry, "live_tenant_count", None)
+                if live is not None:
+                    gauges["live_tenants"] = live()
+                materialized = getattr(
+                    registry, "materialized_tenant_count", None)
+                if materialized is not None:
+                    gauges["materialized_tenants"] = materialized()
+        if self._rss:
+            rss = peak_rss_bytes()
+            if rss is not None:
+                gauges["peak_rss_bytes"] = rss
         self._metrics.sample(time_s=event.time_s, final=event.final, **gauges)
 
 
-def metrics_observer_pair(metrics: MetricsTimeseries, scheme):
+def metrics_observer_pair(metrics: MetricsTimeseries, scheme,
+                          rss: bool = False):
     """The ``(event type, handler)`` pair ``run(observers=...)`` expects."""
-    return (MaintenanceSettlementEvent, MetricsSampler(metrics, scheme))
+    return (MaintenanceSettlementEvent, MetricsSampler(metrics, scheme,
+                                                       rss=rss))
 
 
 # -- composing trace + metrics behind one attach point ----------------------
@@ -327,7 +372,8 @@ def metrics_part(recorder) -> Optional[MetricsTimeseries]:
 
 
 def attach_observability(scheme, trace: Optional[TraceRecorder] = None,
-                         metrics: Optional[MetricsTimeseries] = None) -> list:
+                         metrics: Optional[MetricsTimeseries] = None,
+                         rss: bool = False) -> list:
     """Attach recorders to a scheme; return the kernel observers to run.
 
     The one helper every execution path (plain cells, scenario runs,
@@ -351,5 +397,5 @@ def attach_observability(scheme, trace: Optional[TraceRecorder] = None,
         scheme.cache.attach_trace(sink)
     observers.append(kernel_observer_pair(sink))
     if metrics is not None:
-        observers.append(metrics_observer_pair(metrics, scheme))
+        observers.append(metrics_observer_pair(metrics, scheme, rss=rss))
     return observers

@@ -185,6 +185,8 @@ def _trace_summary(path: str) -> Dict[str, object]:
     header: Dict[str, object] = {}
     counters = 0
     events = 0
+    peak_live: Optional[int] = None
+    peak_rss: Optional[int] = None
     for index, line in enumerate(lines):
         try:
             record = json.loads(line)
@@ -192,12 +194,22 @@ def _trace_summary(path: str) -> Dict[str, object]:
             summary["problem"] = f"line {index + 1} is not valid JSON"
             return summary
         kind = record.get("kind")
-        if index == 0 and kind == "trace_header":
+        if index == 0 and kind in ("trace_header", "metrics_header"):
             header = record
         elif kind == "counter":
             counters += 1
         else:
             events += 1
+            if kind == "sample":
+                # Memory-budget gauges sampled at settlement barriers
+                # (streamed runs): report the run-wide maxima so the CI
+                # memory lane can read them off one report field.
+                live = record.get("live_tenants")
+                if isinstance(live, int):
+                    peak_live = max(peak_live or 0, live)
+                rss = record.get("peak_rss_bytes")
+                if isinstance(rss, int):
+                    peak_rss = max(peak_rss or 0, rss)
     summary["schema_version"] = header.get("schema_version")
     summary["sources"] = header.get("sources", [])
     summary["events"] = events
@@ -207,6 +219,10 @@ def _trace_summary(path: str) -> Dict[str, object]:
         # Metrics timeseries share the JSONL artifact surface; their
         # event lines are per-epoch samples.
         summary["artifact"] = "metrics"
+        if peak_live is not None:
+            summary["peak_live_tenants"] = peak_live
+        if peak_rss is not None:
+            summary["peak_rss_bytes"] = peak_rss
         if header.get("schema_version") != METRICS_SCHEMA_VERSION:
             summary["problem"] = (
                 f"metrics schema version {header.get('schema_version')!r} "
@@ -491,6 +507,12 @@ def _render_markdown(report: Mapping[str, object]) -> str:
                 f"{trace.get('events', 0)} events, "
                 f"{trace.get('counters', 0)} counters, "
                 f"sources {trace.get('sources')}")
+            if not problem and "peak_live_tenants" in trace:
+                status += (f", peak live tenants "
+                           f"{trace['peak_live_tenants']}")
+            if not problem and "peak_rss_bytes" in trace:
+                status += (f", peak RSS "
+                           f"{trace['peak_rss_bytes'] / 2**20:.0f} MiB")
             lines.append(f"- `{trace['path']}` — {status}")
     grids = report.get("grids")
     if grids:

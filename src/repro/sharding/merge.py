@@ -103,8 +103,10 @@ def _verify_conservation(shards: Sequence[ShardResult]) -> Tuple[int, float]:
 
     Two identities per barrier:
 
-    * each shard's own books balance: seed credit == wallet credit left
-      plus everything charged out of the shard's wallets;
+    * each shard's own books balance: the seed credit minted by the
+      barrier (``owned_seed_credit`` — constant for eager registration,
+      growing with arrivals for a generative registry) == wallet credit
+      left plus everything charged out of the shard's wallets;
     * the union of shard-local charges equals the query payments the
       replicated provider account banked — i.e. every dollar the provider
       received was booked by exactly one owning shard.
@@ -118,7 +120,7 @@ def _verify_conservation(shards: Sequence[ShardResult]) -> Tuple[int, float]:
         points = [shard.checkpoints[barrier] for shard in shards]
         for shard, point in zip(shards, points):
             max_residual = max(max_residual, _conserved(
-                shard.owned_initial_credit,
+                point.owned_seed_credit,
                 point.owned_wallet_credit + point.owned_charged,
             ))
         max_residual = max(max_residual, _conserved(
@@ -134,6 +136,15 @@ def _verify_conservation(shards: Sequence[ShardResult]) -> Tuple[int, float]:
             final.owned_charged + shard.foreign_charged,
             final.provider_query_payments,
         ))
+        # By the final barrier every tenant has been minted, so the
+        # barrier's seed-so-far must equal the shard's reported total —
+        # exactly, both being the same running sum.
+        _require(
+            final.owned_seed_credit == shard.owned_initial_credit,
+            f"shard {shard.shard_index} finished with "
+            f"owned_seed_credit={final.owned_seed_credit!r} but reported "
+            f"owned_initial_credit={shard.owned_initial_credit!r}",
+        )
     return barrier_count, max_residual
 
 

@@ -27,13 +27,15 @@ Materialising a foreign tenant's state is a bug by definition, so
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.economy.budget import BudgetFunction
-from repro.economy.tenancy import TenantProfile, TenantRegistry, TenantState
+from repro.economy.tenancy import (GenerativeTenantRegistry, TenantProfile,
+                                   TenantRegistry, TenantState)
 from repro.economy.user_model import UserModel
 from repro.errors import EconomyError, ShardingError
 from repro.sharding.partition import TenantPartitioner
+from repro.workload.population import GenerativeProfileSource, tenant_id_for
 from repro.workload.query import Query
 
 
@@ -246,3 +248,258 @@ class ShardScopedRegistry(TenantRegistry):
     def owned_initial_credit(self) -> float:
         """Seed credit of every owned wallet (the conserved input)."""
         return sum(state.profile.initial_credit for state in self.states())
+
+    def owned_seed_credit(self) -> float:
+        """Owned seed credit *minted so far* — the per-barrier conserved input.
+
+        With eager registration the whole population is seeded at
+        construction, so this is constant over the run (and equal to
+        :meth:`owned_initial_credit`); the generative subclass reports the
+        growing mint-so-far total instead, and settlement checkpoints
+        record whichever value was current at the barrier.
+        """
+        return self.owned_initial_credit()
+
+    # -- generative composition ------------------------------------------------
+
+    @classmethod
+    def generative(cls, source: GenerativeProfileSource,
+                   partitioner: TenantPartitioner,
+                   shard_index: int) -> "GenerativeShardRegistry":
+        """A shard registry that composes a :class:`GenerativeTenantRegistry`.
+
+        No profile is materialised up front — not even the foreign ones the
+        eager constructor replicates — so per-worker memory is bounded by
+        the shard's concurrently live (and charged) tenants, never by the
+        population (see :class:`GenerativeShardRegistry`).
+        """
+        return GenerativeShardRegistry(source, partitioner, shard_index)
+
+
+class GenerativeShardRegistry(ShardScopedRegistry):
+    """A shard-scoped registry over a *generative* population.
+
+    The eager :class:`ShardScopedRegistry` receives the complete profile
+    list and materialises its owned subset at construction — O(population)
+    memory in every worker twice over (the ``_all_profiles`` replica plus
+    the owned states). This subclass instead composes a
+    :class:`~repro.economy.tenancy.GenerativeTenantRegistry` whose
+    ownership predicate is the shared partitioner:
+
+    * **owned tenants** mint bookkeeping at arrival, materialise at first
+      query, and drop back to (at most) two floats at churn;
+    * **foreign tenants** advance the shared mint high-water mark (so
+      their profiles stay derivable for budget replication) but account
+      nothing;
+    * the **foreign-budget replication path** derives the static profile
+      directly from ``(population seed, tenant index)`` — it no longer
+      requires any pre-materialised profile table, which is the invariant
+      that lets the whole worker run in bounded memory. Ids at or beyond
+      the mint high-water mark derive a ``None`` profile (neutral budget),
+      exactly as the eager path treats ids outside its profile table.
+
+    Population-pattern ids (``t<NNNNN>``) are reserved for the generative
+    scheme; ad-hoc ids keep the eager first-touch ordering machinery.
+    """
+
+    def __init__(self, source: GenerativeProfileSource,
+                 partitioner: TenantPartitioner, shard_index: int) -> None:
+        super().__init__((), partitioner, shard_index)
+        self._inner = GenerativeTenantRegistry(
+            source, owns=lambda index, tenant_id:
+            partitioner.owns(shard_index, tenant_id),
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def inner(self) -> GenerativeTenantRegistry:
+        """The composed generative registry holding the owned state."""
+        return self._inner
+
+    @property
+    def source(self) -> GenerativeProfileSource:
+        """The pure profile derivation shared by all shards."""
+        return self._inner.source
+
+    @property
+    def population_size(self) -> int:
+        """Population indices minted so far (owned + foreign)."""
+        return self._inner.population_minted
+
+    def owns(self, tenant_id: str) -> bool:
+        """Whether this shard owns ``tenant_id`` (pure partitioner call)."""
+        return self._partitioner.owns(self._shard_index, tenant_id)
+
+    def _note_touch(self, tenant_id: str) -> None:
+        # Population-pattern ids are reserved for the generative scheme and
+        # ordered by their index; only genuinely ad-hoc ids need the
+        # replicated first-touch counter.
+        if (self._inner.source.index_of(tenant_id) is not None
+                or tenant_id in self._adhoc_index):
+            return
+        self._adhoc_index[tenant_id] = len(self._adhoc_index)
+
+    # -- scoping guards --------------------------------------------------------
+
+    def register(self, profile: TenantProfile) -> TenantState:
+        self._note_touch(profile.tenant_id)
+        if not self.owns(profile.tenant_id):
+            raise ShardingError(
+                f"tenant {profile.tenant_id!r} belongs to shard "
+                f"{self._partitioner.shard_of(profile.tenant_id)}, not "
+                f"{self._shard_index}; foreign state must never materialise"
+            )
+        return self._inner.register(profile)
+
+    def ensure(self, tenant_id: str) -> TenantState:
+        self._note_touch(tenant_id)
+        if not self.owns(tenant_id):
+            raise ShardingError(
+                f"tenant {tenant_id!r} belongs to shard "
+                f"{self._partitioner.shard_of(tenant_id)}, not "
+                f"{self._shard_index}; foreign state must never materialise"
+            )
+        return self._inner.ensure(tenant_id)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def activate(self, tenant_id: str, now: float = 0.0
+                 ) -> Optional[TenantState]:
+        self._note_touch(tenant_id)
+        # The inner registry observes every arrival (advancing the shared
+        # mint high-water mark) but accounts only owned tenants.
+        return self._inner.activate(tenant_id, now=now)
+
+    def deactivate(self, tenant_id: str, now: float = 0.0
+                   ) -> Optional[TenantState]:
+        return self._inner.deactivate(tenant_id, now=now)
+
+    # -- economy hooks ---------------------------------------------------------
+
+    def budget_for(self, query: Query, backend_price: float,
+                   backend_response_time_s: float,
+                   default_model: UserModel) -> BudgetFunction:
+        """The issuing tenant's budget, identical on every shard.
+
+        The foreign path is the load-bearing half: the budget is derived
+        from the *generative* profile — a pure function of the population
+        seed and the tenant's index — so replication needs no profile
+        table. This is asserted by construction: the only inputs consulted
+        are the source and the mint high-water mark, both replicated
+        bitwise across shards by the shared event stream.
+        """
+        self._note_touch(query.tenant_id)
+        if self.owns(query.tenant_id):
+            return self._inner.budget_for(query, backend_price,
+                                          backend_response_time_s,
+                                          default_model)
+        source = self._inner.source
+        index = source.index_of(query.tenant_id)
+        profile = None
+        if index is not None and index < self._inner.population_minted:
+            profile = source.profile_for(index)
+        return TenantRegistry.derive_budget(
+            profile, query, backend_price, backend_response_time_s,
+            default_model,
+        )
+
+    def charge(self, tenant_id: str, amount: float, now: float = 0.0,
+               note: str = "") -> None:
+        if amount < 0:
+            raise EconomyError(f"charge must be non-negative, got {amount}")
+        if amount == 0:
+            return
+        self._note_touch(tenant_id)
+        if self.owns(tenant_id):
+            self._inner.charge(tenant_id, amount, now=now, note=note)
+            return
+        self._foreign_charged += amount
+        self._foreign_charge_count += 1
+
+    def record_regret(self, tenant_id: str, structures, amount: float,
+                      divide: bool = False) -> None:
+        self._note_touch(tenant_id)
+        if not self.owns(tenant_id):
+            return
+        self._inner.record_regret(tenant_id, structures, amount,
+                                  divide=divide)
+
+    def reset_regret(self, key: str) -> None:
+        self._inner.reset_regret(key)
+
+    # -- lookups (delegated to the composed registry) --------------------------
+
+    def state(self, tenant_id: str) -> TenantState:
+        """The *materialised* state; raises if the tenant holds none.
+
+        A generative registry intentionally cannot distinguish "never
+        existed" from "exists but was never charged" here — use
+        :meth:`credit_by_tenant` for population-wide balances.
+        """
+        return self._inner.state(tenant_id)
+
+    def states(self) -> Tuple[TenantState, ...]:
+        return self._inner.states()
+
+    def tenant_ids(self) -> List[str]:
+        return self._inner.tenant_ids()
+
+    def active_ids(self) -> List[str]:
+        return self._inner.active_ids()
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def total_credit(self) -> float:
+        return self._inner.total_credit()
+
+    def total_charged(self) -> float:
+        return self._inner.total_charged()
+
+    def credit_by_tenant(self) -> Dict[str, float]:
+        return self._inner.credit_by_tenant()
+
+    def live_tenant_count(self) -> int:
+        return self._inner.live_tenant_count()
+
+    def materialized_tenant_count(self) -> int:
+        """Owned tenants currently holding a full state object."""
+        return self._inner.materialized_tenant_count()
+
+    @property
+    def peak_materialized(self) -> int:
+        """High-water mark of concurrently materialised owned states."""
+        return self._inner.peak_materialized
+
+    # -- merge support ---------------------------------------------------------
+
+    def owned_wallets(self) -> Tuple[Tuple[int, str, float], ...]:
+        """``(global index, tenant_id, credit)`` per owned tenant.
+
+        Population members carry their mint index — identical to the eager
+        registry's registration index, so merged wallet order is unchanged;
+        ad-hoc tenants sort after the population by the replicated
+        first-touch counter.
+        """
+        base = self._inner.population_minted
+        entries = []
+        for tenant_id, credit in self._inner.credit_by_tenant().items():
+            index = self._inner.source.index_of(tenant_id)
+            if index is None:
+                index = base + self._adhoc_index[tenant_id]
+            entries.append((index, tenant_id, credit))
+        return tuple(entries)
+
+    def owned_initial_credit(self) -> float:
+        """Seed credit of every owned tenant minted over the whole run."""
+        return self._inner.seed_credit()
+
+    def owned_seed_credit(self) -> float:
+        """Owned seed credit minted *so far* (grows with arrivals)."""
+        return self._inner.seed_credit()

@@ -31,6 +31,7 @@ from repro.errors import ShardingError
 from repro.obs.metrics import MetricsTimeseries, attach_observability
 from repro.obs.trace import TraceRecorder
 from repro.experiments.tenants import (
+    ARRIVAL_STREAMED,
     TenantExperimentConfig,
     build_population,
     sorted_breakdowns,
@@ -42,7 +43,12 @@ from repro.simulator.events import MaintenanceSettlementEvent, QueryArrivalEvent
 from repro.simulator.metrics import MetricsSummary, TenantBreakdown
 from repro.simulator.simulation import CloudSimulation, SimulationConfig
 from repro.system import CloudSystem
-from repro.workload.grammar import compile_shock_events
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.grammar import (
+    compile_shock_events,
+    compile_shock_events_for_span,
+)
+from repro.workload.population import GenerativeProfileSource, TenantPopulation
 
 
 @dataclass(frozen=True)
@@ -65,9 +71,16 @@ class SettlementCheckpoint:
 
     ``time_s``, ``queries_dispatched``, ``provider_credit`` and
     ``provider_query_payments`` describe the *replicated* trajectory and
-    must be bitwise identical on every shard; ``owned_wallet_credit`` and
-    ``owned_charged`` are the shard-local halves that only add up across
-    shards (the conservation audit).
+    must be bitwise identical on every shard; ``owned_wallet_credit``,
+    ``owned_charged`` and ``owned_seed_credit`` are the shard-local halves
+    that only add up across shards (the conservation audit).
+
+    ``owned_seed_credit`` is the seed credit of the owned tenants *minted
+    by this barrier*: with eager registration the whole population is
+    seeded up front, so it is constant over the run; with a generative
+    registry it grows with arrivals. Either way the per-barrier identity
+    ``owned_seed_credit == owned_wallet_credit + owned_charged`` holds —
+    wallets only ever change by seeding and by charges.
     """
 
     time_s: float
@@ -76,6 +89,7 @@ class SettlementCheckpoint:
     provider_query_payments: float
     owned_wallet_credit: float
     owned_charged: float
+    owned_seed_credit: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -125,6 +139,7 @@ class SettlementCheckpointRecorder:
             provider_query_payments=payments,
             owned_wallet_credit=self._registry.total_credit(),
             owned_charged=self._registry.total_charged(),
+            owned_seed_credit=self._registry.owned_seed_credit(),
         )
 
 
@@ -144,8 +159,26 @@ class ShardWorker:
         """Replay the cell's event stream; account only the owned tenants."""
         task = self._task
         config = task.config
-        populated = build_population(config)
+        streamed = config.arrival_mode == ARRIVAL_STREAMED
         system = CloudSystem()
+
+        populated = None
+        stream = None
+        if streamed:
+            # Nothing population-sized materialises: queries flow from the
+            # generator through the population stream into the kernel's
+            # lookahead window, and the registry derives profiles on
+            # demand. Every shard consumes an identical stream, so the
+            # replicated trajectory is unchanged.
+            population_spec = config.population_spec()
+            source = GenerativeProfileSource(spec=population_spec,
+                                             tiers=config.tenant_tiers)
+            generator = WorkloadGenerator(config.workload_spec())
+            envelope = generator.arrival_envelope()
+            stream = TenantPopulation(population_spec).stream(
+                generator.iter_queries(), source=source)
+        else:
+            populated = build_population(config)
 
         registry: Optional[ShardScopedRegistry] = None
         recorder: Optional[SettlementCheckpointRecorder] = None
@@ -155,8 +188,12 @@ class ShardWorker:
             # to scope, so the worker only filters the step accounting.
             scheme = system.scheme(config.scheme)
         else:
-            registry = ShardScopedRegistry(
-                populated.profiles, self._partitioner, task.shard_index)
+            if streamed:
+                registry = ShardScopedRegistry.generative(
+                    source, self._partitioner, task.shard_index)
+            else:
+                registry = ShardScopedRegistry(
+                    populated.profiles, self._partitioner, task.shard_index)
             scheme = system.scheme(
                 config.scheme,
                 economic_config=EconomicSchemeConfig(
@@ -185,7 +222,8 @@ class ShardWorker:
                 metrics = MetricsTimeseries(
                     source=f"shard{task.shard_index}")
             observers.extend(attach_observability(scheme, trace=trace,
-                                                  metrics=metrics))
+                                                  metrics=metrics,
+                                                  rss=streamed))
 
         simulation = CloudSimulation(scheme, SimulationConfig(
             warmup_queries=config.warmup_queries,
@@ -194,13 +232,25 @@ class ShardWorker:
         # Shock events replicate with the rest of the stream: every shard
         # compiles the identical events from the shared frozen config, so
         # the replicated trajectory stays bitwise identical under faults.
-        result = simulation.run(
-            populated.queries,
-            tenant_lifecycle=populated.lifecycle,
-            observers=observers,
-            shock_events=compile_shock_events(config.shocks,
-                                              populated.queries),
-        )
+        if streamed:
+            result = simulation.run_streamed(
+                stream, envelope,
+                observers=observers,
+                shock_events=compile_shock_events_for_span(
+                    config.shocks, envelope.start_s, envelope.last_s),
+            )
+            start_s = envelope.start_s
+            total_queries = envelope.query_count
+        else:
+            result = simulation.run(
+                populated.queries,
+                tenant_lifecycle=populated.lifecycle,
+                observers=observers,
+                shock_events=compile_shock_events(config.shocks,
+                                                  populated.queries),
+            )
+            start_s = populated.queries[0].arrival_time
+            total_queries = len(populated.queries)
 
         checkpoints: Tuple[SettlementCheckpoint, ...] = ()
         if recorder is not None:
@@ -208,8 +258,8 @@ class ShardWorker:
             # coordinator merges at, present even when the trailing
             # settlement degenerated (single query, zero span).
             final = recorder.snapshot(
-                time_s=result.summary.duration_s + populated.queries[0].arrival_time,
-                queries_dispatched=len(populated.queries),
+                time_s=result.summary.duration_s + start_s,
+                queries_dispatched=total_queries,
             )
             checkpoints = tuple(recorder.checkpoints) + (final,)
 
@@ -238,8 +288,10 @@ class ShardWorker:
             owned_initial_credit=owned_seed,
             foreign_charged=foreign_charged,
             checkpoints=checkpoints,
-            population_size=populated.tenant_count,
-            churn_waves=populated.churn_waves,
+            population_size=(stream.tenants_minted if streamed
+                             else populated.tenant_count),
+            churn_waves=(stream.churn_events if streamed
+                         else populated.churn_waves),
             trace=trace,
             metrics=metrics,
         )

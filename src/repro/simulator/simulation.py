@@ -193,6 +193,96 @@ def _run_tenants(schemes: Sequence[CachingScheme], queries: Sequence[Query],
     }
 
 
+def _run_tenants_streamed(schemes: Sequence[CachingScheme], stream,
+                          envelope, config: SimulationConfig,
+                          observers: Sequence = (),
+                          shock_events: Sequence = ()
+                          ) -> Dict[str, SimulationResult]:
+    """The :func:`_run_tenants` assembly over a lazy arrival stream.
+
+    ``stream`` yields populated queries and lifecycle markers in time
+    order (a :class:`~repro.workload.population.PopulationStream`);
+    ``envelope`` (:class:`~repro.workload.generator.ArrivalEnvelope`)
+    supplies the run extent the eager path reads off the materialised
+    list. All horizon arithmetic uses the envelope's floats — the same
+    values the stream's queries are stamped with — so settlement instants,
+    the trailing charge, and shock onsets are bitwise the eager ones, and
+    every same-instant tie resolves identically (the stream preserves
+    insertion order; cross-kind ties go by event priority, which never
+    depended on scheduling order).
+
+    Batched planners need the whole epoch up front (``prime_workload``),
+    which is exactly what a stream avoids; callers gate streamed runs to
+    scalar planning before reaching this assembly.
+    """
+    from repro.simulator.streaming import StreamingArrivalSource
+
+    if envelope.query_count <= 0:
+        raise SimulationError("the workload contains no queries")
+    if config.warmup_queries >= envelope.query_count:
+        raise SimulationError(
+            f"warmup_queries={config.warmup_queries} leaves no "
+            f"measured queries out of {envelope.query_count}"
+        )
+
+    start_s = envelope.start_s
+    trailing_s = envelope.trailing_interval_s
+    end_s = envelope.last_s + (trailing_s if config.trailing_settlement
+                               else 0.0)
+
+    kernel = SimulationKernel(start_time_s=start_s)
+    tenants: List[SchemeTenant] = []
+    for scheme in schemes:
+        tenant = SchemeTenant(
+            scheme,
+            MetricsCollector(scheme.name),
+            warmup_queries=config.warmup_queries,
+            start_time_s=start_s,
+        )
+        tenant.register(kernel)
+        tenants.append(tenant)
+
+    rescheduler = PeriodicRescheduler(horizon_s=end_s)
+    kernel.register(MaintenanceSettlementEvent, rescheduler)
+    kernel.register(StructureFailureCheckEvent, rescheduler)
+
+    source = StreamingArrivalSource(stream)
+    source.register(kernel)
+
+    # Observers still register last (after the source's refill hook): they
+    # are read-only, and refilling schedules future events only, so the
+    # settled-state-at-dispatch contract is unchanged.
+    for event_type, handler in observers:
+        kernel.register(event_type, handler)
+
+    kernel.schedule_all(shock_events)
+    if (config.settlement_period_s is not None
+            and start_s + config.settlement_period_s <= end_s):
+        kernel.schedule(MaintenanceSettlementEvent(
+            time_s=start_s + config.settlement_period_s,
+            period_s=config.settlement_period_s,
+        ))
+    if (config.failure_check_period_s is not None
+            and start_s + config.failure_check_period_s <= end_s):
+        kernel.schedule(StructureFailureCheckEvent(
+            time_s=start_s + config.failure_check_period_s,
+            period_s=config.failure_check_period_s,
+        ))
+    if config.trailing_settlement and trailing_s > 0:
+        kernel.schedule(MaintenanceSettlementEvent(time_s=end_s, final=True))
+
+    source.prime(kernel)
+    kernel.run()
+
+    return {
+        tenant.scheme.name: SimulationResult(
+            summary=tenant.collector.summary(),
+            steps=tenant.collector.steps,
+        )
+        for tenant in tenants
+    }
+
+
 class CloudSimulation:
     """Replays a workload against a caching scheme and collects metrics."""
 
@@ -236,6 +326,33 @@ class CloudSimulation:
                                tenant_lifecycle=tenant_lifecycle,
                                observers=observers,
                                shock_events=shock_events)
+        return results[self._scheme.name]
+
+    def run_streamed(self, stream, envelope, observers: Sequence = (),
+                     shock_events: Sequence = ()) -> SimulationResult:
+        """Run over a lazy arrival stream instead of a materialised list.
+
+        Args:
+            stream: time-ordered iterable of populated queries and tenant
+                lifecycle markers (see
+                :meth:`repro.workload.population.TenantPopulation.stream`).
+            envelope: the workload's
+                :class:`~repro.workload.generator.ArrivalEnvelope` (count
+                and first/last arrival), which replaces everything the
+                eager path reads off the query list.
+            observers: as for :meth:`run`.
+            shock_events: as for :meth:`run` (compile them with
+                :func:`repro.workload.grammar.compile_shock_events_for_span`
+                so no queries are materialised).
+
+        Returns:
+            The same :class:`~repro.simulator.results.SimulationResult` an
+            eager :meth:`run` over the materialised stream would return,
+            bit for bit.
+        """
+        results = _run_tenants_streamed([self._scheme], stream, envelope,
+                                        self._config, observers=observers,
+                                        shock_events=shock_events)
         return results[self._scheme.name]
 
 

@@ -99,6 +99,47 @@ class WorkloadSpec:
         )
 
 
+@dataclass(frozen=True)
+class ArrivalEnvelope:
+    """The time extent of a workload, without the workload itself.
+
+    The streamed execution path needs the quantities the eager path reads
+    off the materialised query list — how many queries there are, when the
+    first and last arrive — *before* any query exists, to place settlement
+    horizons, shock onsets, and the trailing settlement. The envelope
+    carries exactly those three numbers; because they come from the same
+    :meth:`ArrivalProcess.arrival_times` floats the queries themselves are
+    stamped with, every derived instant is bitwise the eager value.
+    """
+
+    query_count: int
+    start_s: float
+    last_s: float
+
+    def __post_init__(self) -> None:
+        if self.query_count <= 0:
+            raise WorkloadError("query_count must be positive")
+        if self.last_s < self.start_s:
+            raise WorkloadError("last_s must not precede start_s")
+
+    @property
+    def span_s(self) -> float:
+        """Seconds between the first and last arrival."""
+        return self.last_s - self.start_s
+
+    @property
+    def trailing_interval_s(self) -> float:
+        """The mean inter-arrival time (the trailing-settlement delay).
+
+        Mirrors :func:`repro.simulator.simulation.trailing_interval_for`
+        over a materialised list: span over ``count - 1`` gaps, 0 for a
+        single query.
+        """
+        if self.query_count < 2:
+            return 0.0
+        return self.span_s / (self.query_count - 1)
+
+
 class WorkloadGenerator:
     """Generates an evolving stream of :class:`~repro.workload.query.Query`."""
 
@@ -140,6 +181,21 @@ class WorkloadGenerator:
     def generate(self, count: Optional[int] = None) -> List[Query]:
         """Generate the workload as a list (see :meth:`iter_queries`)."""
         return list(self.iter_queries(count))
+
+    def arrival_envelope(self, count: Optional[int] = None) -> ArrivalEnvelope:
+        """The workload's time extent, from the arrival process alone.
+
+        Cheap relative to generation (no template/selectivity draws), and
+        bitwise consistent with :meth:`iter_queries`: both read the same
+        :meth:`ArrivalProcess.arrival_times` array.
+        """
+        total = self._spec.query_count if count is None else count
+        if total <= 0:
+            raise WorkloadError(f"count must be positive, got {total}")
+        arrivals = self._arrival_process.arrival_times(total)
+        return ArrivalEnvelope(query_count=total,
+                               start_s=float(arrivals[0]),
+                               last_s=float(arrivals[total - 1]))
 
     def iter_queries(self, count: Optional[int] = None) -> Iterator[Query]:
         """Yield queries in arrival order.

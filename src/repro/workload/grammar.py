@@ -49,7 +49,8 @@ from repro.simulator.events import (
 )
 from repro.workload.arrival import PhaseChange, TraceArrival
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
-from repro.workload.population import PopulatedWorkload
+from repro.workload.population import (PopulatedWorkload, tier_boundaries,
+                                       tier_index_for)
 from repro.workload.query import Query
 from repro.workload.templates import paper_templates, template_by_name
 
@@ -421,8 +422,23 @@ def compile_shock_events(shocks: Sequence[ShockSpec],
     """
     if not queries:
         return ()
-    first = queries[0].arrival_time
-    last = queries[-1].arrival_time
+    return compile_shock_events_for_span(
+        shocks, queries[0].arrival_time, queries[-1].arrival_time
+    )
+
+
+def compile_shock_events_for_span(shocks: Sequence[ShockSpec], first: float,
+                                  last: float) -> Tuple[Event, ...]:
+    """:func:`compile_shock_events` from the arrival span alone.
+
+    The streamed execution path knows the workload's
+    :class:`~repro.workload.generator.ArrivalEnvelope` before a single
+    query exists; compiling from ``(first, last)`` directly — the same
+    floats the eager path reads off the materialised list — yields
+    bitwise-identical shock events without materialising anything.
+    """
+    first = float(first)
+    last = float(last)
     span = max(last - first, 0.0)
     events: List[Event] = []
     for shock in shocks:
@@ -465,31 +481,31 @@ def apply_tenant_tiers(populated: PopulatedWorkload,
                        seed: int = 0) -> PopulatedWorkload:
     """Assign SLA tiers to the population, rewriting the profiles.
 
-    Assignment is a deterministic seeded categorical draw per profile in
-    profile order, so the same ``(population, tiers, seed)`` always
-    yields the same tiered population. Queries and lifecycle markers are
-    untouched — only ``budget_multiplier`` and ``initial_credit`` scale.
+    Assignment is a deterministic seeded categorical draw *per tenant
+    index* (:func:`repro.workload.population.tier_index_for` — the same
+    helper the generative profile source uses), so tenant ``i``'s tier
+    depends only on ``(seed, i)``, never on how many profiles were
+    assigned before it. That per-index property is what keeps an eagerly
+    tiered population bitwise identical to the profiles a
+    :class:`~repro.workload.population.GenerativeProfileSource` derives
+    on demand. Queries and lifecycle markers are untouched — only
+    ``budget_multiplier`` and ``initial_credit`` scale.
     """
     if not tiers:
         return populated
-    weights = np.array([tier.weight for tier in tiers], dtype=float)
-    if weights.sum() <= 0:
-        raise WorkloadError("tenant tiers must have positive total weight")
-    probabilities = weights / weights.sum()
-    rng = np.random.default_rng(seed)
-    assignment = rng.choice(len(tiers), size=len(populated.profiles),
-                            p=probabilities)
-    profiles = tuple(
-        replace(
+    boundaries = tier_boundaries(tiers)
+    profiles = []
+    for index, profile in enumerate(populated.profiles):
+        tier = tiers[tier_index_for(seed, index, boundaries)]
+        profiles.append(replace(
             profile,
             budget_multiplier=(profile.budget_multiplier
-                               * tiers[tier_index].budget_multiplier),
+                               * tier.budget_multiplier),
             initial_credit=(profile.initial_credit
-                            * tiers[tier_index].credit_multiplier),
-        )
-        for profile, tier_index in zip(populated.profiles, assignment)
-    )
-    return PopulatedWorkload(queries=populated.queries, profiles=profiles,
+                            * tier.credit_multiplier),
+        ))
+    return PopulatedWorkload(queries=populated.queries,
+                             profiles=tuple(profiles),
                              lifecycle=populated.lifecycle)
 
 
